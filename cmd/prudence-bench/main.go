@@ -1,0 +1,199 @@
+// Command prudence-bench regenerates the paper's evaluation: every
+// figure (3, 6, 7, 8, 9, 10, 11, 12, 13), the §3.3 allocation path cost
+// table, the §3.4 denial-of-service comparison, and the ablation study
+// over Prudence's individual optimizations.
+//
+// Usage:
+//
+//	prudence-bench -exp all
+//	prudence-bench -exp fig6 -pairs 50000
+//	prudence-bench -exp fig3 -cpus 8 -pages 16384
+//	prudence-bench -exp apps -txns 2000     # figures 7-13 from one run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prudence/internal/bench"
+	"prudence/internal/slabcore"
+	"prudence/internal/trace"
+	"prudence/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig3|fig6|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
+		cpus    = flag.Int("cpus", 8, "virtual CPUs")
+		pages   = flag.Int("pages", 16384, "arena size in 4 KiB pages")
+		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, ablation)")
+		txns    = flag.Int("txns", 1500, "application transactions per CPU (figs 7-13)")
+		repeats = flag.Int("repeats", 3, "application comparison repeats; figure 13 reports medians")
+		dosMs   = flag.Int("dos-ms", 1500, "DoS attack duration in milliseconds")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.CPUs = *cpus
+	cfg.ArenaPages = *pages
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	want := func(names ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *exp == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("fig6") {
+		run("fig6", func() error {
+			res, err := bench.RunFig6(cfg, *pairs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() error {
+			c := cfg
+			if *pages == 16384 {
+				// Endurance default: an arena small enough that the
+				// baseline's growing callback backlog exhausts it well
+				// within the update budget (the Figure 3 OOM).
+				c.ArenaPages = 2048 // 8 MiB
+			}
+			res, err := bench.RunFig3(c, bench.DefaultFig3Config())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	appsWanted := want("apps", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13")
+	if appsWanted {
+		run("apps (figs 7-13)", func() error {
+			res, err := bench.RunAppsMedian(cfg, *txns, *repeats)
+			if err != nil {
+				return err
+			}
+			tables := map[string]string{
+				"fig7":  res.Fig7Table(),
+				"fig8":  res.Fig8Table(),
+				"fig9":  res.Fig9Table(),
+				"fig10": res.Fig10Table(),
+				"fig11": res.Fig11Table(),
+				"fig12": res.Fig12Table(),
+				"fig13": res.Fig13Table(),
+			}
+			order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+			for _, name := range order {
+				if *exp == "all" || *exp == "apps" || *exp == name {
+					fmt.Println(tables[name])
+				}
+			}
+			return nil
+		})
+	}
+	if want("cost") {
+		run("cost", func() error {
+			res, err := bench.RunCostTable(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	if want("dos") {
+		run("dos", func() error {
+			c := cfg
+			if *pages == 16384 {
+				c.ArenaPages = 1024 // 4 MiB: the flood must be able to win against SLUB
+			}
+			res, err := bench.RunDoS(c, time.Duration(*dosMs)*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("ablation", func() error {
+			res, err := bench.RunAblation(cfg, *pairs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	if want("gpsweep") {
+		run("gpsweep", func() error {
+			res, err := bench.RunGPSweep(cfg, *pairs/2)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			return nil
+		})
+	}
+	if want("trace") {
+		run("trace", func() error {
+			// A short 512 B deferred-free burst on each allocator with an
+			// event ring attached: the timeline makes the "hints about
+			// the future" machinery visible (refills sized by the latent
+			// backlog, batched pre-flushes, grace-period waits).
+			for _, kind := range []bench.Kind{bench.KindSLUB, bench.KindPrudence} {
+				s := bench.NewStack(kind, cfg)
+				cache := s.Alloc.NewCache(slabcore.DefaultConfig("kmalloc-512", 512, cfg.CPUs))
+				ring := trace.NewRing(4096)
+				type tracer interface{ SetTrace(*trace.Ring) }
+				cache.(tracer).SetTrace(ring)
+				workload.RunMicro(s.Env(), cache, 4000)
+				fmt.Printf("--- %s event counts over a 512 B micro burst ---\n", kind)
+				counts := ring.CountByKind()
+				for k := trace.KindMalloc; k <= trace.KindOOM; k++ {
+					if counts[k] > 0 {
+						fmt.Printf("  %-9s %d\n", k, counts[k])
+					}
+				}
+				fmt.Printf("last events:\n%s\n", indent(ring.Dump(12)))
+				cache.Drain()
+				s.Close()
+			}
+			return nil
+		})
+	}
+	if !want("fig6") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 apps fig7..fig13 cost dos ablation all\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,58 @@
+// Command prudence-endurance runs the Figure 3 endurance experiment
+// (§3.5/§5.5): per-CPU linked-list update storms with 512-byte objects
+// against both allocators, and emits the used-memory time series as CSV
+// for plotting, plus a summary table.
+//
+// Usage:
+//
+//	prudence-endurance                      # summary table to stdout
+//	prudence-endurance -csv fig3.csv        # also write the series
+//	prudence-endurance -cpus 8 -pages 4096 -updates 60000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prudence/internal/bench"
+)
+
+func main() {
+	var (
+		cpus    = flag.Int("cpus", 8, "virtual CPUs")
+		pages   = flag.Int("pages", 4096, "arena size in 4 KiB pages")
+		updates = flag.Int("updates", 60000, "list updates per CPU")
+		size    = flag.Int("objsize", 512, "object size in bytes (paper: 512)")
+		sample  = flag.Duration("sample", time.Millisecond, "used-memory sampling period")
+		pace    = flag.Duration("pace", time.Microsecond, "pause per update (0 = flat out)")
+		csvPath = flag.String("csv", "", "write used-memory series CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.CPUs = *cpus
+	cfg.ArenaPages = *pages
+
+	f3 := bench.DefaultFig3Config()
+	f3.UpdatesPerCPU = *updates
+	f3.ObjectSize = *size
+	f3.SampleEvery = *sample
+	f3.PacePerUpdate = *pace
+
+	res, err := bench.RunFig3(cfg, f3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table())
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s (%d slub samples, %d prudence samples)\n",
+			*csvPath, res.SLUB.Series.Len(), res.Prudence.Series.Len())
+	}
+}

@@ -1,0 +1,3 @@
+module prudence
+
+go 1.22

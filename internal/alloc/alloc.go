@@ -1,0 +1,117 @@
+// Package alloc defines the allocator abstraction shared by the SLUB
+// baseline and Prudence so that workloads, examples and the benchmark
+// harness can run identically over either allocator and compare the
+// attributes the paper reports.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+)
+
+// Cache is one slab cache: a named pool of fixed-size objects.
+type Cache interface {
+	// Name returns the cache's report name (e.g. "filp").
+	Name() string
+	// ObjectSize returns the object size in bytes.
+	ObjectSize() int
+	// Malloc allocates one object on the calling CPU. It returns
+	// pagealloc.ErrOutOfMemory (possibly wrapped) when the machine is
+	// out of memory.
+	Malloc(cpu int) (slabcore.Ref, error)
+	// Free immediately returns an object.
+	Free(cpu int, r slabcore.Ref)
+	// FreeDeferred defers the freeing of an object until a grace period
+	// has elapsed. For SLUB this registers an RCU callback (Listing 1);
+	// for Prudence this is the turnkey free_deferred API (Listing 2).
+	FreeDeferred(cpu int, r slabcore.Ref)
+	// Counters exposes the cache's live metric counters.
+	Counters() *stats.AllocCounters
+	// Fragmentation returns the paper's total-fragmentation metric and
+	// its byte components.
+	Fragmentation() (ft float64, allocatedBytes, requestedBytes int64)
+	// Drain flushes all per-CPU state back to slabs, waits for any
+	// pending deferred objects to become reclaimable, and returns all
+	// free slabs to the page allocator. Used at end of run for
+	// accounting and teardown.
+	Drain()
+}
+
+// Allocator constructs caches. One Allocator instance manages one
+// machine-wide allocator (either SLUB or Prudence).
+type Allocator interface {
+	// Name identifies the allocator in reports ("slub" or "prudence").
+	Name() string
+	// NewCache creates a cache from an explicit configuration.
+	NewCache(cfg slabcore.CacheConfig) Cache
+	// Caches returns all caches created so far.
+	Caches() []Cache
+}
+
+// KmallocSizes are the power-of-two size classes used by the general
+// -purpose allocation front, mirroring the kernel's kmalloc caches used
+// in the paper's micro-benchmark (Figure 6).
+var KmallocSizes = []int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Kmalloc is a size-class front over an Allocator: Malloc(size) routes
+// to the smallest kmalloc cache that fits, like the kernel's kmalloc.
+type Kmalloc struct {
+	sizes  []int
+	caches []Cache
+}
+
+// NewKmalloc creates the kmalloc size-class caches on a. cpus is the
+// machine's CPU count used for default cache sizing.
+func NewKmalloc(a Allocator, cpus int) *Kmalloc {
+	k := &Kmalloc{sizes: KmallocSizes}
+	for _, sz := range k.sizes {
+		cfg := slabcore.DefaultConfig(fmt.Sprintf("kmalloc-%d", sz), sz, cpus)
+		k.caches = append(k.caches, a.NewCache(cfg))
+	}
+	return k
+}
+
+// CacheFor returns the kmalloc cache serving allocations of size bytes,
+// or nil if size exceeds the largest class.
+func (k *Kmalloc) CacheFor(size int) Cache {
+	i := sort.SearchInts(k.sizes, size)
+	if i >= len(k.sizes) {
+		return nil
+	}
+	return k.caches[i]
+}
+
+// Malloc allocates size bytes on cpu from the matching size class.
+func (k *Kmalloc) Malloc(cpu, size int) (slabcore.Ref, error) {
+	c := k.CacheFor(size)
+	if c == nil {
+		return slabcore.Ref{}, fmt.Errorf("alloc: kmalloc size %d exceeds largest class %d", size, k.sizes[len(k.sizes)-1])
+	}
+	return c.Malloc(cpu)
+}
+
+// Free returns an object to its size class. The object must have been
+// allocated through this Kmalloc front.
+func (k *Kmalloc) Free(cpu int, r slabcore.Ref) {
+	k.cacheOf(r).Free(cpu, r)
+}
+
+// FreeDeferred defer-frees an object allocated through this front.
+func (k *Kmalloc) FreeDeferred(cpu int, r slabcore.Ref) {
+	k.cacheOf(r).FreeDeferred(cpu, r)
+}
+
+func (k *Kmalloc) cacheOf(r slabcore.Ref) Cache {
+	size := len(r.Bytes())
+	c := k.CacheFor(size)
+	if c == nil || c.ObjectSize() != size {
+		panic(fmt.Sprintf("alloc: object of size %d was not allocated by this kmalloc front", size))
+	}
+	return c
+}
+
+// Caches returns the size-class caches in ascending size order.
+func (k *Kmalloc) Caches() []Cache { return k.caches }

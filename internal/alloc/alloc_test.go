@@ -1,0 +1,111 @@
+package alloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/slub"
+)
+
+func builders() map[string]alloctest.BuildAllocator {
+	return map[string]alloctest.BuildAllocator{
+		"slub": func(s *alloctest.Stack) alloc.Allocator {
+			return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+		},
+		"prudence": func(s *alloctest.Stack) alloc.Allocator {
+			return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+		},
+	}
+}
+
+func TestKmallocSizeClasses(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 8192
+			s := alloctest.NewStack(t, cfg, build)
+			k := alloc.NewKmalloc(s.Alloc, s.Machine.NumCPU())
+
+			if got := len(k.Caches()); got != len(alloc.KmallocSizes) {
+				t.Fatalf("%d caches, want %d", got, len(alloc.KmallocSizes))
+			}
+			// Requests route to the smallest class that fits.
+			cases := []struct{ req, class int }{
+				{1, 64}, {64, 64}, {65, 128}, {128, 128},
+				{129, 256}, {500, 512}, {513, 1024}, {4096, 4096},
+			}
+			for _, c := range cases {
+				cache := k.CacheFor(c.req)
+				if cache == nil || cache.ObjectSize() != c.class {
+					t.Errorf("CacheFor(%d) -> %v, want class %d", c.req, cache, c.class)
+				}
+			}
+			if k.CacheFor(4097) != nil {
+				t.Error("CacheFor beyond the largest class should be nil")
+			}
+			if _, err := k.Malloc(0, 5000); err == nil {
+				t.Error("Malloc beyond the largest class should fail")
+			} else if !strings.Contains(err.Error(), "exceeds") {
+				t.Errorf("unhelpful error: %v", err)
+			}
+
+			// Round-trip through the front: Free and FreeDeferred find
+			// the owning class from the object size.
+			r, err := k.Malloc(0, 100) // -> kmalloc-128
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Bytes()) != 128 {
+				t.Fatalf("object size %d, want 128", len(r.Bytes()))
+			}
+			k.Free(0, r)
+			r2, err := k.Malloc(0, 2000) // -> kmalloc-2048
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.FreeDeferred(0, r2)
+			c128 := k.CacheFor(128).Counters().Snapshot()
+			if c128.Allocs != 1 || c128.Frees != 1 {
+				t.Errorf("kmalloc-128 counters: %+v", c128)
+			}
+			c2048 := k.CacheFor(2048).Counters().Snapshot()
+			if c2048.DeferredFrees != 1 {
+				t.Errorf("kmalloc-2048 counters: %+v", c2048)
+			}
+			for _, c := range k.Caches() {
+				c.Drain()
+			}
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked", used)
+			}
+		})
+	}
+}
+
+func TestKmallocNamesMatchKernelConvention(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), builders()["prudence"])
+	k := alloc.NewKmalloc(s.Alloc, s.Machine.NumCPU())
+	for i, c := range k.Caches() {
+		want := alloc.KmallocSizes[i]
+		if c.Name() != "kmalloc-"+itoa(want) {
+			t.Errorf("cache %d named %q", want, c.Name())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,433 @@
+// Package alloctest provides a reusable test harness and conformance
+// suite run against both allocators (internal/slub and internal/core).
+// Behaviours every correct allocator in this system must exhibit —
+// round-trip integrity, no reuse of deferred objects before their grace
+// period, balanced accounting after drain — are encoded once here.
+package alloctest
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/memarena"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/slabcore"
+	"prudence/internal/vcpu"
+)
+
+// Stack bundles a full simulated machine: arena, page allocator, CPUs,
+// RCU engine and an allocator under test.
+type Stack struct {
+	Arena   *memarena.Arena
+	Pages   *pagealloc.Allocator
+	Machine *vcpu.Machine
+	RCU     *rcu.RCU
+	Alloc   alloc.Allocator
+}
+
+// StackConfig controls stack construction.
+type StackConfig struct {
+	CPUs  int
+	Pages int
+	RCU   rcu.Options
+}
+
+// DefaultStackConfig returns a small fast stack for unit tests.
+func DefaultStackConfig() StackConfig {
+	return StackConfig{
+		CPUs:  4,
+		Pages: 2048,
+		RCU: rcu.Options{
+			Blimit:         32,
+			ThrottleDelay:  50 * time.Microsecond,
+			MinGPInterval:  100 * time.Microsecond,
+			QSPollInterval: 10 * time.Microsecond,
+		},
+	}
+}
+
+// BuildAllocator constructs the allocator under test from the stack's
+// substrates.
+type BuildAllocator func(s *Stack) alloc.Allocator
+
+// NewStack builds a stack and registers cleanup with t.
+func NewStack(t testing.TB, cfg StackConfig, build BuildAllocator) *Stack {
+	t.Helper()
+	s := &Stack{}
+	s.Arena = memarena.New(cfg.Pages)
+	s.Pages = pagealloc.New(s.Arena)
+	s.Machine = vcpu.NewMachine(cfg.CPUs)
+	s.RCU = rcu.New(s.Machine, cfg.RCU)
+	s.Alloc = build(s)
+	t.Cleanup(func() {
+		s.RCU.Stop()
+		s.Machine.Stop()
+	})
+	return s
+}
+
+// Auditor is implemented by caches that can verify their structural
+// invariants; the conformance suite audits after every drain.
+type Auditor interface {
+	Audit() error
+}
+
+func audit(t *testing.T, c alloc.Cache) {
+	t.Helper()
+	if a, ok := c.(Auditor); ok {
+		if err := a.Audit(); err != nil {
+			t.Fatalf("post-drain audit: %v", err)
+		}
+	}
+}
+
+// TestCacheConfig returns a small cache configuration with poisoning on,
+// so use-after-free through stale refs is detectable.
+func TestCacheConfig(name string) slabcore.CacheConfig {
+	return slabcore.CacheConfig{
+		Name:          name,
+		ObjectSize:    256,
+		SlabOrder:     0, // 16 objects per slab
+		CacheSize:     8,
+		FreeSlabLimit: 2,
+		Poison:        true,
+	}
+}
+
+// RunConformance runs the cross-allocator behavioural suite. build must
+// return a fresh allocator for the given stack.
+func RunConformance(t *testing.T, build BuildAllocator) {
+	t.Run("AllocFreeRoundTrip", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("rt"))
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Bytes()) != 256 {
+			t.Fatalf("object size %d, want 256", len(r.Bytes()))
+		}
+		copy(r.Bytes(), []byte("payload"))
+		c.Free(0, r)
+		ctr := c.Counters().Snapshot()
+		if ctr.Allocs != 1 || ctr.Frees != 1 {
+			t.Fatalf("counters allocs=%d frees=%d, want 1/1", ctr.Allocs, ctr.Frees)
+		}
+	})
+
+	t.Run("ObjectsDistinct", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("distinct"))
+		const n = 100
+		refs := make([]slabcore.Ref, n)
+		for i := range refs {
+			r, err := c.Malloc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.LittleEndian.PutUint64(r.Bytes(), uint64(i))
+			refs[i] = r
+		}
+		for i, r := range refs {
+			if got := binary.LittleEndian.Uint64(r.Bytes()); got != uint64(i) {
+				t.Fatalf("object %d holds %d: objects overlap", i, got)
+			}
+			c.Free(0, r)
+		}
+	})
+
+	t.Run("DeferredNotReusedBeforeGracePeriod", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("defer"))
+		// Hold a read-side critical section on CPU 1 so no grace period
+		// can complete.
+		s.RCU.ExitIdle(1)
+		s.RCU.ReadLock(1)
+
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marker := r.Bytes()
+		copy(marker, []byte("LIVE-DATA"))
+		c.FreeDeferred(0, r)
+
+		// Allocate aggressively on CPU 0: none of these may alias the
+		// deferred object while the grace period is blocked.
+		var got []slabcore.Ref
+		for i := 0; i < 200; i++ {
+			nr, err := c.Malloc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nr.Slab == r.Slab && nr.Idx == r.Idx {
+				t.Fatalf("deferred object handed out before grace period (iteration %d)", i)
+			}
+			got = append(got, nr)
+		}
+		if string(marker[:9]) != "LIVE-DATA" {
+			t.Fatal("deferred object memory was overwritten before grace period")
+		}
+		for _, nr := range got {
+			c.Free(0, nr)
+		}
+		// Release the reader; the object must eventually become
+		// reusable (Drain waits for it).
+		s.RCU.ReadUnlock(1)
+		s.RCU.QuiescentState(1)
+		s.RCU.EnterIdle(1)
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages still used after drain", used)
+		}
+	})
+
+	t.Run("DeferredReusableAfterGracePeriod", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("reuse"))
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.FreeDeferred(0, r)
+		s.RCU.Synchronize()
+		// The object must come back through Malloc eventually: for SLUB
+		// once the callback processor frees it, for Prudence at the next
+		// cache miss (so allocate in batches larger than the object
+		// cache to force misses).
+		batch := TestCacheConfig("reuse").CacheSize + 2
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			same := false
+			refs := make([]slabcore.Ref, 0, batch)
+			for i := 0; i < batch; i++ {
+				nr, err := c.Malloc(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nr.Slab == r.Slab && nr.Idx == r.Idx {
+					same = true
+				}
+				refs = append(refs, nr)
+			}
+			for _, nr := range refs {
+				c.Free(0, nr)
+			}
+			if same {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("deferred object never became reusable")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+
+	t.Run("DrainReturnsAllMemory", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("drain"))
+		rng := rand.New(rand.NewSource(7))
+		var live []slabcore.Ref
+		for i := 0; i < 3000; i++ {
+			switch {
+			case len(live) == 0 || rng.Intn(3) == 0:
+				r, err := c.Malloc(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, r)
+			case rng.Intn(2) == 0:
+				i := rng.Intn(len(live))
+				c.Free(0, live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default:
+				i := rng.Intn(len(live))
+				c.FreeDeferred(0, live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, r := range live {
+			c.Free(0, r)
+		}
+		c.Drain()
+		audit(t, c)
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked after drain", used)
+		}
+		ctr := c.Counters().Snapshot()
+		if ctr.CurrentSlabs != 0 {
+			t.Fatalf("%d slabs still accounted after drain", ctr.CurrentSlabs)
+		}
+		if ctr.Frees+ctr.DeferredFrees != ctr.Allocs {
+			t.Fatalf("allocs=%d frees=%d deferred=%d unbalanced", ctr.Allocs, ctr.Frees, ctr.DeferredFrees)
+		}
+	})
+
+	t.Run("OOMOnExhaustion", func(t *testing.T) {
+		cfg := DefaultStackConfig()
+		cfg.Pages = 8
+		s := NewStack(t, cfg, build)
+		c := s.Alloc.NewCache(TestCacheConfig("oom"))
+		var live []slabcore.Ref
+		var sawOOM bool
+		for i := 0; i < 8*16+10; i++ {
+			r, err := c.Malloc(0)
+			if err != nil {
+				if !errors.Is(err, pagealloc.ErrOutOfMemory) {
+					t.Fatalf("unexpected error %v", err)
+				}
+				sawOOM = true
+				break
+			}
+			live = append(live, r)
+		}
+		if !sawOOM {
+			t.Fatal("allocator never reported OOM on a full arena")
+		}
+		for _, r := range live {
+			c.Free(0, r)
+		}
+		c.Drain()
+	})
+
+	t.Run("ConcurrentMixedWorkload", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("conc"))
+		s.Machine.RunOnAll(func(cpu *vcpu.CPU) {
+			id := cpu.ID()
+			s.RCU.ExitIdle(id)
+			defer s.RCU.EnterIdle(id)
+			rng := rand.New(rand.NewSource(int64(id)))
+			var live []slabcore.Ref
+			for i := 0; i < 2000; i++ {
+				if rng.Intn(2) == 0 || len(live) == 0 {
+					r, err := c.Malloc(id)
+					if err != nil {
+						t.Errorf("cpu %d: %v", id, err)
+						return
+					}
+					live = append(live, r)
+				} else {
+					j := rng.Intn(len(live))
+					if rng.Intn(2) == 0 {
+						c.Free(id, live[j])
+					} else {
+						c.FreeDeferred(id, live[j])
+					}
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				s.RCU.QuiescentState(id)
+			}
+			for _, r := range live {
+				c.Free(id, r)
+			}
+		})
+		c.Drain()
+		audit(t, c)
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked after concurrent workload", used)
+		}
+	})
+
+	t.Run("MultipleCaches", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c1 := s.Alloc.NewCache(TestCacheConfig("a"))
+		cfg2 := TestCacheConfig("b")
+		cfg2.ObjectSize = 512
+		c2 := s.Alloc.NewCache(cfg2)
+		r1, err := c1.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := c2.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Bytes()) == len(r2.Bytes()) {
+			t.Fatal("caches share object size unexpectedly")
+		}
+		if got := len(s.Alloc.Caches()); got != 2 {
+			t.Fatalf("Caches() = %d entries, want 2", got)
+		}
+		c1.Free(0, r1)
+		c2.Free(0, r2)
+		c1.Drain()
+		c2.Drain()
+	})
+
+	t.Run("MultiNodeNUMA", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		cfg := TestCacheConfig("numa")
+		cfg.Nodes = 2
+		c := s.Alloc.NewCache(cfg)
+		// CPUs 0-1 sit on node 0, CPUs 2-3 on node 1. Allocate on one
+		// node, free and defer-free from the other: objects must return
+		// to their owning slab's node regardless of the freeing CPU.
+		var fromNode0 []slabcore.Ref
+		for i := 0; i < 64; i++ {
+			r, err := c.Malloc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromNode0 = append(fromNode0, r)
+		}
+		var fromNode1 []slabcore.Ref
+		for i := 0; i < 64; i++ {
+			r, err := c.Malloc(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromNode1 = append(fromNode1, r)
+		}
+		for i, r := range fromNode0 {
+			if i%2 == 0 {
+				c.Free(3, r) // cross-node immediate free
+			} else {
+				c.FreeDeferred(3, r) // cross-node deferred free
+			}
+		}
+		for _, r := range fromNode1 {
+			c.Free(0, r)
+		}
+		c.Drain()
+		audit(t, c)
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked after cross-node traffic", used)
+		}
+	})
+
+	t.Run("FragmentationReported", func(t *testing.T) {
+		s := NewStack(t, DefaultStackConfig(), build)
+		c := s.Alloc.NewCache(TestCacheConfig("frag"))
+		var refs []slabcore.Ref
+		for i := 0; i < 16; i++ {
+			r, err := c.Malloc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, r)
+		}
+		ft, allocated, requested := c.Fragmentation()
+		if requested != 16*256 {
+			t.Fatalf("requested = %d, want %d", requested, 16*256)
+		}
+		if allocated < requested {
+			t.Fatalf("allocated %d < requested %d", allocated, requested)
+		}
+		if ft < 1.0 {
+			t.Fatalf("fragmentation %v < 1", ft)
+		}
+		for _, r := range refs {
+			c.Free(0, r)
+		}
+		c.Drain()
+	})
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"prudence/internal/core"
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/workload"
+)
+
+// AblationRow is one Prudence variant's micro-benchmark result.
+type AblationRow struct {
+	Variant    string
+	PairsPerS  float64
+	VsFull     float64 // rate relative to the full design
+	PreFlushes uint64
+	PreMoves   uint64
+	Partial    uint64
+}
+
+// AblationResult compares Prudence with each §4.2 optimization disabled
+// in turn, under the Figure 6 micro-benchmark at 512 B.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationVariants enumerates the design-choice toggles of DESIGN.md §4.
+func AblationVariants() map[string]core.Options {
+	return map[string]core.Options{
+		"full":              {},
+		"with-prediction":   {EnablePrediction: true},
+		"no-partial-refill": {DisablePartialRefill: true},
+		"no-pre-flush":      {DisablePreFlush: true},
+		"no-pre-move":       {DisablePreMove: true},
+		"no-slab-selection": {DisableSlabSelection: true},
+		"all-disabled": {
+			DisablePartialRefill: true,
+			DisablePreFlush:      true,
+			DisablePreMove:       true,
+			DisableSlabSelection: true,
+		},
+	}
+}
+
+// RunAblation measures each variant.
+func RunAblation(cfg Config, pairsPerCPU int) (AblationResult, error) {
+	var res AblationResult
+	order := []string{"full", "with-prediction", "no-partial-refill", "no-pre-flush", "no-pre-move", "no-slab-selection", "all-disabled"}
+	variants := AblationVariants()
+	var fullRate float64
+	for _, name := range order {
+		c := cfg
+		c.Prudence = variants[name]
+		s := NewStack(KindPrudence, c)
+		cache := s.Alloc.NewCache(slabcore.DefaultConfig("kmalloc-512", 512, c.CPUs))
+		r := workload.RunMicro(s.Env(), cache, pairsPerCPU)
+		snap := cache.Counters().Snapshot()
+		row := AblationRow{
+			Variant:    name,
+			PairsPerS:  r.PairsPerSec(),
+			PreFlushes: snap.PreFlushes,
+			PreMoves:   snap.PreMoves,
+			Partial:    snap.PartialFills,
+		}
+		if name == "full" {
+			fullRate = row.PairsPerS
+		}
+		if fullRate > 0 {
+			row.VsFull = row.PairsPerS / fullRate
+		}
+		res.Rows = append(res.Rows, row)
+		cache.Drain()
+		s.Close()
+	}
+	return res, nil
+}
+
+// Table renders the ablation comparison.
+func (r AblationResult) Table() string {
+	t := stats.NewTable("variant", "pairs/s", "vs full", "preflushes", "premoves", "partial refills")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, fmt.Sprintf("%.0f", row.PairsPerS), fmt.Sprintf("%.2fx", row.VsFull),
+			row.PreFlushes, row.PreMoves, row.Partial)
+	}
+	return "Ablation: Prudence optimizations toggled off (512 B micro-benchmark)\n" + t.String()
+}

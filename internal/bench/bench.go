@@ -1,0 +1,136 @@
+// Package bench is the experiment harness: one runner per table/figure
+// of the paper's evaluation (§3.5 and §5), each building identical
+// simulated machines for the SLUB baseline and Prudence, running the
+// matching workload from internal/workload, and reporting paper-style
+// rows/series. cmd/prudence-bench and the repository's bench_test.go are
+// thin wrappers over these runners.
+//
+// Absolute numbers differ from the paper (user-space simulation vs a
+// 64-thread Xeon kernel); the reproduced quantity is the *shape*: who
+// wins, roughly by how much, and in which direction each per-cache
+// metric moves. EXPERIMENTS.md records paper-vs-measured for every
+// figure.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/core"
+	"prudence/internal/memarena"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/slub"
+	"prudence/internal/vcpu"
+	"prudence/internal/workload"
+)
+
+// Kind selects the allocator under test.
+type Kind string
+
+// Allocator kinds.
+const (
+	KindSLUB     Kind = "slub"
+	KindPrudence Kind = "prudence"
+)
+
+// Config parameterizes a simulated machine for one experiment run.
+type Config struct {
+	CPUs       int
+	ArenaPages int
+	RCU        rcu.Options
+	// Prudence carries the ablation toggles (ignored for SLUB).
+	Prudence core.Options
+	// PressureWatermark arms the page allocator's memory pressure
+	// notification at this used-page count and wires it to the RCU
+	// engine's expediting (§3.5's kernel behaviour: "RCU attempts to
+	// process more deferred objects as the memory pressure increases").
+	// Zero means the default of 3/4 of the arena; negative disables.
+	PressureWatermark int
+}
+
+// DefaultConfig returns the machine used by the experiments: 8 virtual
+// CPUs (scaled down from the paper's 64 hardware threads) and a 64 MiB
+// arena, with kernel-flavoured RCU settings.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:       8,
+		ArenaPages: 16384, // 64 MiB of 4 KiB pages
+		RCU: rcu.Options{
+			Blimit:          10,
+			ExpeditedBlimit: 300,
+			// 10 callbacks per 20µs per CPU ≈ 500k/s: application-rate
+			// deferred frees are processed promptly (as kernel softirq
+			// does), while allocator-saturating workloads still outrun
+			// it and expose the §3 pathologies.
+			ThrottleDelay:  20 * time.Microsecond,
+			MinGPInterval:  500 * time.Microsecond,
+			QSPollInterval: 20 * time.Microsecond,
+		},
+	}
+}
+
+// Stack is a fully assembled simulated machine plus allocator.
+type Stack struct {
+	Kind    Kind
+	Arena   *memarena.Arena
+	Pages   *pagealloc.Allocator
+	Machine *vcpu.Machine
+	RCU     *rcu.RCU
+	Alloc   alloc.Allocator
+}
+
+// NewStack builds a machine and allocator of the given kind.
+func NewStack(kind Kind, cfg Config) *Stack {
+	s := &Stack{Kind: kind}
+	s.Arena = memarena.New(cfg.ArenaPages)
+	s.Pages = pagealloc.New(s.Arena)
+	s.Machine = vcpu.NewMachine(cfg.CPUs)
+	s.RCU = rcu.New(s.Machine, cfg.RCU)
+	if cfg.PressureWatermark == 0 {
+		cfg.PressureWatermark = cfg.ArenaPages * 3 / 4
+	}
+	if cfg.PressureWatermark > 0 {
+		s.Pages.OnPressure(s.RCU.SetPressure)
+		s.Pages.SetPressureWatermark(cfg.PressureWatermark)
+	}
+	switch kind {
+	case KindSLUB:
+		s.Alloc = slub.New(s.Pages, s.RCU, cfg.CPUs)
+	case KindPrudence:
+		s.Alloc = core.New(s.Pages, s.RCU, s.Machine, cfg.Prudence)
+	default:
+		panic(fmt.Sprintf("bench: unknown allocator kind %q", kind))
+	}
+	return s
+}
+
+// Env returns the workload environment view of the stack.
+func (s *Stack) Env() workload.Env {
+	return workload.Env{Machine: s.Machine, RCU: s.RCU, Pages: s.Pages}
+}
+
+// Close tears the stack down.
+func (s *Stack) Close() {
+	s.RCU.Stop()
+	s.Machine.Stop()
+}
+
+// both runs fn against a fresh stack of each kind and returns the
+// results keyed by kind.
+func both(cfg Config, fn func(s *Stack) error) (map[Kind]*Stack, error) {
+	out := map[Kind]*Stack{}
+	for _, kind := range []Kind{KindSLUB, KindPrudence} {
+		s := NewStack(kind, cfg)
+		if err := fn(s); err != nil {
+			s.Close()
+			for _, other := range out {
+				other.Close()
+			}
+			return nil, fmt.Errorf("%s: %w", kind, err)
+		}
+		out[kind] = s
+	}
+	return out, nil
+}

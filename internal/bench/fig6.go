@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/workload"
+)
+
+// Fig6Sizes are the allocation sizes of the paper's micro-benchmark.
+var Fig6Sizes = []int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Fig6Row is one bar group of Figure 6.
+type Fig6Row struct {
+	Size          int
+	SLUBPairs     float64 // pairs/sec
+	PrudencePairs float64 // pairs/sec
+	SLUBStalls    int
+	Speedup       float64 // Prudence / SLUB
+}
+
+// Fig6Result is the full micro-benchmark sweep.
+type Fig6Result struct {
+	Rows        []Fig6Row
+	PairsPerCPU int
+}
+
+// RunFig6 reproduces Figure 6: kmalloc()/kfree_deferred() pairs per
+// second for each object size, on all CPUs, under both allocators.
+func RunFig6(cfg Config, pairsPerCPU int) (Fig6Result, error) {
+	res := Fig6Result{PairsPerCPU: pairsPerCPU}
+	for _, size := range Fig6Sizes {
+		row := Fig6Row{Size: size}
+		for _, kind := range []Kind{KindSLUB, KindPrudence} {
+			c := cfg
+			if c.PressureWatermark == 0 {
+				// Let the baseline expedite under pressure, as the
+				// kernel does; without this SLUB spends the whole run
+				// in reclaim stalls.
+				c.PressureWatermark = c.ArenaPages / 2
+			}
+			s := NewStack(kind, c)
+			cache := s.Alloc.NewCache(slabcore.DefaultConfig(fmt.Sprintf("kmalloc-%d", size), size, c.CPUs))
+			r := workload.RunMicro(s.Env(), cache, pairsPerCPU)
+			switch kind {
+			case KindSLUB:
+				row.SLUBPairs = r.PairsPerSec()
+				row.SLUBStalls = r.Stalls
+			case KindPrudence:
+				row.PrudencePairs = r.PairsPerSec()
+			}
+			cache.Drain()
+			s.Close()
+		}
+		if row.SLUBPairs > 0 {
+			row.Speedup = row.PrudencePairs / row.SLUBPairs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the paper-style rows.
+func (r Fig6Result) Table() string {
+	t := stats.NewTable("size(B)", "slub pairs/s", "prudence pairs/s", "speedup", "slub stalls")
+	for _, row := range r.Rows {
+		t.AddRow(row.Size, fmt.Sprintf("%.0f", row.SLUBPairs), fmt.Sprintf("%.0f", row.PrudencePairs),
+			fmt.Sprintf("%.1fx", row.Speedup), row.SLUBStalls)
+	}
+	return "Figure 6: kmalloc/kfree_deferred pairs per second (higher is better)\n" + t.String()
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/workload"
+)
+
+// GPSweepRow is one grace-period-interval setting's outcome.
+type GPSweepRow struct {
+	Interval      time.Duration
+	SLUBPairs     float64
+	PrudencePairs float64
+	SLUBPeakKiB   int64
+	PrudPeakKiB   int64
+}
+
+// GPSweepResult is the grace-period sensitivity study.
+type GPSweepResult struct {
+	Rows []GPSweepRow
+}
+
+// GPSweepIntervals are the grace-period gaps swept.
+var GPSweepIntervals = []time.Duration{
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	2 * time.Millisecond,
+	10 * time.Millisecond,
+}
+
+// RunGPSweep measures how both allocators respond to grace-period
+// length under the 512 B micro-benchmark. This extends the paper's
+// analysis (§3.1: thousands of updates per grace period; §5.5:
+// equilibrium at the reallocation rate): longer grace periods mean a
+// larger in-flight deferred population, so memory footprints grow with
+// the interval for both designs — but the baseline's backlog adds
+// callback-processing lag on top, while Prudence's footprint tracks the
+// interval alone.
+func RunGPSweep(cfg Config, pairsPerCPU int) (GPSweepResult, error) {
+	var res GPSweepResult
+	for _, ival := range GPSweepIntervals {
+		row := GPSweepRow{Interval: ival}
+		for _, kind := range []Kind{KindSLUB, KindPrudence} {
+			c := cfg
+			c.RCU.MinGPInterval = ival
+			if c.PressureWatermark == 0 {
+				c.PressureWatermark = c.ArenaPages / 2
+			}
+			s := NewStack(kind, c)
+			cache := s.Alloc.NewCache(slabcore.DefaultConfig("kmalloc-512", 512, c.CPUs))
+			r := workload.RunMicro(s.Env(), cache, pairsPerCPU)
+			peak := int64(s.Arena.PeakPages()) * 4
+			switch kind {
+			case KindSLUB:
+				row.SLUBPairs = r.PairsPerSec()
+				row.SLUBPeakKiB = peak
+			case KindPrudence:
+				row.PrudencePairs = r.PairsPerSec()
+				row.PrudPeakKiB = peak
+			}
+			cache.Drain()
+			s.Close()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r GPSweepResult) Table() string {
+	t := stats.NewTable("GP interval", "slub pairs/s", "prudence pairs/s", "slub peak KiB", "prudence peak KiB")
+	for _, row := range r.Rows {
+		t.AddRow(row.Interval.String(),
+			fmt.Sprintf("%.0f", row.SLUBPairs), fmt.Sprintf("%.0f", row.PrudencePairs),
+			row.SLUBPeakKiB, row.PrudPeakKiB)
+	}
+	return "Grace-period sensitivity (512 B micro-benchmark)\n" + t.String()
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// comparison shape tests assert timing-sensitive outcomes (who OOMs
+// first) that do not hold when the detector slows every memory access.
+const RaceEnabled = false

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/memarena"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/slabcore"
+	"prudence/internal/vcpu"
+)
+
+// FuzzAllocatorOps drives Prudence with an arbitrary single-CPU op tape
+// — malloc, free, defer-free, synchronize — then drains and audits.
+// Each byte's low two bits pick the op; the rest picks the victim.
+func FuzzAllocatorOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x01, 0x02, 0x03, 0x00, 0x06, 0x0A})
+	f.Add([]byte{0x02, 0x02, 0x02, 0x02, 0x03, 0x03, 0x03, 0x03})
+	f.Add(make([]byte, 100))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 400 {
+			tape = tape[:400]
+		}
+		arena := memarena.New(1024)
+		pages := pagealloc.New(arena)
+		machine := vcpu.NewMachine(1)
+		r := rcu.New(machine, rcu.Options{})
+		defer machine.Stop()
+		defer r.Stop()
+		a := core.New(pages, r, machine, core.Options{})
+		cache := a.NewCache(alloctest.TestCacheConfig("fuzz")).(*core.Cache)
+
+		var live []slabcore.Ref
+		for _, b := range tape {
+			switch b & 3 {
+			case 0: // malloc
+				ref, err := cache.Malloc(0)
+				if err != nil {
+					continue
+				}
+				ref.Bytes()[0] = b
+				live = append(live, ref)
+			case 1: // free
+				if len(live) > 0 {
+					i := int(b>>2) % len(live)
+					cache.Free(0, live[i])
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			case 2: // defer-free
+				if len(live) > 0 {
+					i := int(b>>2) % len(live)
+					cache.FreeDeferred(0, live[i])
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			case 3: // grace period
+				if b>>2 == 0 {
+					r.Synchronize()
+				}
+			}
+		}
+		for _, ref := range live {
+			cache.Free(0, ref)
+		}
+		cache.Drain()
+		if err := cache.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		if used := arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked", used)
+		}
+		ctr := cache.Counters().Snapshot()
+		if ctr.Allocs != ctr.Frees+ctr.DeferredFrees {
+			t.Fatalf("unbalanced: allocs=%d frees=%d deferred=%d", ctr.Allocs, ctr.Frees, ctr.DeferredFrees)
+		}
+	})
+}

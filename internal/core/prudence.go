@@ -1,0 +1,847 @@
+// Package core implements Prudence, the paper's contribution: a slab
+// allocator tightly integrated with the procrastination-based
+// synchronization mechanism so that deferred objects are visible to —
+// and reclaimed by — the allocator itself.
+//
+// The structure follows the paper's Algorithm 1 and §4:
+//
+//   - Every per-CPU object cache has a latent cache holding deferred
+//     objects stamped with the grace-period cookie after which they are
+//     safe; every slab has a latent slab (see slabcore.Slab's latent
+//     entries). Latent objects are hidden from ordinary allocation until
+//     their grace period elapses, then merged.
+//   - Object cache refill is partial: with o the object cache size and d
+//     the latent backlog, only o-d objects are refilled so the later
+//     merge cannot overflow the cache (MALLOC/REFILL, lines 8-14).
+//   - When a deferred free would push object+latent counts past the
+//     cache size, a latent-cache pre-flush is scheduled on the CPU's
+//     idle worker, moving deferred objects to their latent slabs ahead
+//     of time, aggressively when frees outpace allocations
+//     (FREE_DEFERRED lines 39-51 and §4.2 "Latent cache pre-flush").
+//   - Slabs are pre-moved between full/partial/free lists as soon as a
+//     deferred free makes the future placement known (PRE_MOVE_SLAB,
+//     lines 52-59).
+//   - Refill slab selection scans a bounded prefix of the partial list
+//     and avoids slabs whose live objects are mostly deferred, so those
+//     slabs can drain completely and their pages return to the page
+//     allocator — the total-fragmentation optimization of Figure 5.
+//   - On memory exhaustion with deferred objects outstanding, the OOM
+//     path waits for a grace period and retries instead of failing
+//     (lines 31-32, "Handling memory pressure").
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prudence/internal/alloc"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/trace"
+	"prudence/internal/vcpu"
+)
+
+// Options toggles Prudence's individual optimizations. The zero value
+// enables everything; the toggles exist for the ablation benchmarks.
+type Options struct {
+	// DisablePartialRefill refills the object cache to capacity,
+	// ignoring the latent backlog (turns off lines 8-14's sizing).
+	DisablePartialRefill bool
+	// DisablePreFlush turns off idle-time latent cache pre-flushing.
+	DisablePreFlush bool
+	// DisablePreMove turns off slab pre-movement between node lists.
+	DisablePreMove bool
+	// DisableSlabSelection makes refill take the first partial slab
+	// like SLUB instead of the deferred-aware scan.
+	DisableSlabSelection bool
+	// DisableOOMDelay fails allocations immediately on page exhaustion
+	// even when deferred objects are pending.
+	DisableOOMDelay bool
+	// EnablePrediction turns on the §6 future-work extension: flush
+	// sizing adapts to a lifetime prediction for objects freed OUTSIDE
+	// the deferred context. When recent allocations outpace immediate
+	// frees, freed objects are predicted to be reallocated soon and the
+	// overflow flush keeps more of them cached; when immediate frees
+	// dominate (teardown bursts), the flush returns more to the slabs.
+	// Off by default: it is an extension beyond the paper's evaluated
+	// design.
+	EnablePrediction bool
+	// SlabScanLimit bounds how many partial slabs refill inspects
+	// (default 10 — the paper's latency/fragmentation trade-off, §5.4).
+	SlabScanLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlabScanLimit <= 0 {
+		o.SlabScanLimit = 10
+	}
+	return o
+}
+
+// GracePeriods is the integration surface the paper's §4 (requirement
+// ii) adds to the synchronization mechanism: a pollable grace-period
+// state. Prudence is agnostic to HOW grace periods are detected —
+// context-switch counting (internal/rcu) and epoch-based reclamation
+// (internal/ebr) both satisfy it, demonstrating the paper's point that
+// the added complexity stays inside the allocator.
+type GracePeriods interface {
+	// Snapshot returns a cookie that elapses once every reader existing
+	// now has finished.
+	Snapshot() rcu.Cookie
+	// Elapsed reports whether a full grace period has passed since the
+	// cookie was taken.
+	Elapsed(rcu.Cookie) bool
+	// NeedGP signals demand for a grace period even with no callbacks.
+	NeedGP()
+	// WaitElapsedOn blocks until the cookie elapses, treating the
+	// calling CPU as quiescent; returns false if the engine stopped.
+	WaitElapsedOn(cpu int, c rcu.Cookie) bool
+	// GPsCompleted counts completed grace periods (used to gate
+	// once-per-grace-period work).
+	GPsCompleted() uint64
+	// Synchronize blocks until a full grace period has elapsed.
+	Synchronize()
+}
+
+// Allocator is the Prudence allocator.
+type Allocator struct {
+	pages   *pagealloc.Allocator
+	rcu     GracePeriods
+	machine *vcpu.Machine
+	opts    Options
+
+	mu     sync.Mutex
+	caches []alloc.Cache
+}
+
+var _ alloc.Allocator = (*Allocator)(nil)
+
+// New creates a Prudence allocator. machine provides the per-CPU idle
+// workers used for pre-flush; r is the grace-period provider whose
+// state the allocator polls (internal/rcu's engine or any other
+// GracePeriods implementation, e.g. internal/ebr).
+func New(pages *pagealloc.Allocator, r GracePeriods, machine *vcpu.Machine, opts Options) *Allocator {
+	return &Allocator{
+		pages:   pages,
+		rcu:     r,
+		machine: machine,
+		opts:    opts.withDefaults(),
+	}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "prudence" }
+
+// NewCache implements alloc.Allocator.
+func (a *Allocator) NewCache(cfg slabcore.CacheConfig) alloc.Cache {
+	cfg.CPUs = a.machine.NumCPU()
+	c := &Cache{
+		alloc: a,
+		base:  slabcore.NewBase(a.pages, cfg),
+	}
+	c.percpu = make([]*cpuLocal, cfg.CPUs)
+	for i := range c.percpu {
+		c.percpu[i] = &cpuLocal{
+			objs: slabcore.NewPerCPUCache(c.base.Cfg.CacheSize),
+		}
+	}
+	c.shrinkGate = make([]atomic.Uint64, len(c.base.NodesArr))
+	a.mu.Lock()
+	a.caches = append(a.caches, c)
+	a.mu.Unlock()
+	return c
+}
+
+// Caches implements alloc.Allocator.
+func (a *Allocator) Caches() []alloc.Cache {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]alloc.Cache, len(a.caches))
+	copy(out, a.caches)
+	return out
+}
+
+// latentObj is one deferred object in a latent cache.
+type latentObj struct {
+	ref    slabcore.Ref
+	cookie rcu.Cookie
+}
+
+// cpuLocal is one CPU's object cache plus latent cache, guarded by the
+// object cache's mutex (the local-irq-disable analogue). The latent
+// cache is bounded by the object cache size (§4.1): overflow goes to
+// latent slabs instead, so a post-grace-period merge can never overflow
+// the object cache.
+type cpuLocal struct {
+	objs   *slabcore.PerCPUCache
+	latent []latentObj
+
+	// preflushArmed avoids queueing more than one pre-flush work item.
+	preflushArmed bool
+
+	// op counts since the last pre-flush decision, used for the
+	// aggressive/lazy pre-flush rate heuristic (§4.2).
+	allocsSince int
+	freesSince  int
+
+	// prediction window counters (EnablePrediction): immediate-path
+	// traffic since the last overflow flush.
+	predAllocs int
+	predFrees  int
+}
+
+// Cache is one Prudence slab cache.
+type Cache struct {
+	alloc  *Allocator
+	base   *slabcore.Base
+	percpu []*cpuLocal
+
+	// latentTotal counts deferred objects anywhere in this cache
+	// (latent caches + latent slabs); the OOM-delay path consults it.
+	latentTotal atomic.Int64
+
+	// shrinkGate[node] records the grace-period count at the last
+	// latent-path shrink attempt on that node. Free-list slabs blocked
+	// by latent objects can only become reclaimable after a further
+	// grace period, so re-scanning before one completes is wasted work
+	// under the node lock (and starves other CPUs off it).
+	shrinkGate []atomic.Uint64
+}
+
+var _ alloc.Cache = (*Cache)(nil)
+
+// Name implements alloc.Cache.
+func (c *Cache) Name() string { return c.base.Cfg.Name }
+
+// ObjectSize implements alloc.Cache.
+func (c *Cache) ObjectSize() int { return c.base.Cfg.ObjectSize }
+
+// Counters implements alloc.Cache.
+func (c *Cache) Counters() *stats.AllocCounters { return &c.base.Ctr }
+
+// Fragmentation implements alloc.Cache.
+func (c *Cache) Fragmentation() (float64, int64, int64) {
+	return c.base.Fragmentation()
+}
+
+// LatentTotal returns the number of deferred objects currently parked in
+// this cache's latent caches and latent slabs.
+func (c *Cache) LatentTotal() int64 { return c.latentTotal.Load() }
+
+func (c *Cache) elapsed(ck rcu.Cookie) bool { return c.alloc.rcu.Elapsed(ck) }
+
+// shrinkLimit is the deferred-aware free-slab threshold: on top of the
+// configured limit, keep enough free slabs to re-home the current
+// latent backlog. Those objects become allocatable at the next grace
+// period, so returning their slabs' pages to the page allocator now
+// would only cycle them straight back through grow (the ill-timed
+// reclamation §3.3 warns about). When the deferred load stops, the
+// backlog drops to zero and the cache shrinks to the configured limit.
+func (c *Cache) shrinkLimit() int {
+	per := c.base.Cfg.ObjectsPerSlab()
+	return c.base.Cfg.FreeSlabLimit + int(c.latentTotal.Load())/per
+}
+
+// Malloc implements alloc.Cache following Algorithm 1's MALLOC.
+func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
+	ctr := &c.base.Ctr
+	ctr.Allocs.Add(1)
+	cl := c.percpu[cpu]
+
+	for {
+		cl.objs.Mu.Lock()
+		cl.allocsSince++
+		cl.predAllocs++
+		if r := cl.objs.TryGet(); !r.IsZero() {
+			cl.objs.Mu.Unlock()
+			ctr.CacheHits.Add(1)
+			c.base.UserAlloc()
+			if d := c.base.Debugger(); d != nil {
+				d.OnAlloc(r, cpu)
+			}
+			return r, nil
+		}
+		// Lines 8-11: merge safe latent objects and retry.
+		if c.mergeCaches(cl) > 0 {
+			if r := cl.objs.TryGet(); !r.IsZero() {
+				cl.objs.Mu.Unlock()
+				ctr.LatentHits.Add(1)
+				c.base.UserAlloc()
+				if d := c.base.Debugger(); d != nil {
+					d.OnAlloc(r, cpu)
+				}
+				return r, nil
+			}
+		}
+		// Line 12: refill, sized by the latent backlog.
+		c.refill(cpu, cl)
+		if r := cl.objs.TryGet(); !r.IsZero() {
+			cl.objs.Mu.Unlock()
+			c.base.UserAlloc()
+			if d := c.base.Debugger(); d != nil {
+				d.OnAlloc(r, cpu)
+			}
+			return r, nil
+		}
+		// Lines 29-30: grow the slab cache.
+		node := c.base.NodeFor(cpu)
+		_, err := c.base.NewSlab(node)
+		if err == nil {
+			c.refill(cpu, cl)
+			r := cl.objs.TryGet()
+			cl.objs.Mu.Unlock()
+			if r.IsZero() {
+				// The fresh slab's objects were taken by other CPUs
+				// between our grow and refill: memory exists and the
+				// system is making progress, so retry. If memory truly
+				// runs out, the next grow fails and the OOM path below
+				// decides.
+				continue
+			}
+			c.base.UserAlloc()
+			if d := c.base.Debugger(); d != nil {
+				d.OnAlloc(r, cpu)
+			}
+			return r, nil
+		}
+		cl.objs.Mu.Unlock()
+
+		// Lines 31-33: on exhaustion, wait for a grace period if
+		// deferred objects are pending somewhere; they become
+		// reallocatable once it elapses.
+		if c.alloc.opts.DisableOOMDelay || c.latentTotal.Load() == 0 {
+			return slabcore.Ref{}, err
+		}
+		ctr.GPWaits.Add(1)
+		c.base.Trace(trace.KindGPWait, cpu, 0, 0)
+		// The wait treats this CPU as quiescent (the caller is blocked,
+		// i.e. context-switched) so the grace period it is waiting for
+		// can actually complete.
+		if !c.alloc.rcu.WaitElapsedOn(cpu, c.alloc.rcu.Snapshot()) {
+			return slabcore.Ref{}, err
+		}
+		// Reconcile latent slabs across the nodes so freed-up slabs can
+		// be found by the retry. Another CPU may win the refill race,
+		// but per Algorithm 1 (lines 31-32) the allocation keeps
+		// waiting as long as deferred objects are pending: deferral is
+		// the system's guarantee that memory is coming back.
+		for _, n := range c.base.NodesArr {
+			c.reconcileNode(n)
+		}
+	}
+}
+
+// mergeCaches implements MERGE_CACHES (lines 60-65): move latent objects
+// whose grace period has elapsed into the object cache, stopping when it
+// is full. Caller holds cl.objs.Mu. Returns the number merged.
+func (c *Cache) mergeCaches(cl *cpuLocal) int {
+	moved := 0
+	i := 0
+	for i < len(cl.latent) && cl.objs.Len() < cl.objs.Size {
+		if !c.elapsed(cl.latent[i].cookie) {
+			// Cookies are monotone within a CPU's latent cache, so the
+			// first unelapsed entry ends the eligible prefix.
+			break
+		}
+		cl.objs.Put(cl.latent[i].ref)
+		moved++
+		i++
+	}
+	if i > 0 {
+		cl.latent = append(cl.latent[:0], cl.latent[i:]...)
+		c.latentTotal.Add(int64(-moved))
+	}
+	return moved
+}
+
+// refill implements REFILL_OBJECT_CACHE (lines 13-30): partial refill
+// sized by the latent backlog, selecting slabs to minimize total
+// fragmentation. Caller holds cl.objs.Mu.
+func (c *Cache) refill(cpu int, cl *cpuLocal) {
+	full := cl.objs.Size - cl.objs.Len()
+	want := full
+	if !c.alloc.opts.DisablePartialRefill {
+		// Line 14: leave room for the latent objects that will merge in
+		// after the grace period.
+		want = cl.objs.Size - len(cl.latent) - cl.objs.Len()
+	}
+	partial := want < full
+	if floor := (cl.objs.Size + 1) / 2; want < floor && full >= floor {
+		// Line 14's o-d sizing can degenerate to zero-or-one-object
+		// refills when a defer storm pins the latent cache at its
+		// limit. The merge loop cannot overflow the object cache (it
+		// stops at capacity), so a floor of half a cache only trades
+		// merge headroom for an order of magnitude fewer node-lock
+		// crossings.
+		want = floor
+	}
+	if want <= 0 {
+		want = 1
+	}
+	node := c.base.NodeFor(cpu)
+	moved := 0
+	node.Lock()
+	for want > 0 {
+		s := c.selectSlab(node)
+		if s == nil {
+			break
+		}
+		for want > 0 && s.FreeCount() > 0 {
+			cl.objs.Put(s.PopFree())
+			want--
+			moved++
+		}
+		node.Move(s, c.placement(s))
+	}
+	node.Unlock()
+	if moved > 0 {
+		c.base.Ctr.Refills.Add(1)
+		p := int64(0)
+		if partial {
+			c.base.Ctr.PartialFills.Add(1)
+			p = 1
+		}
+		c.base.Trace(trace.KindRefill, cpu, int64(moved), p)
+	}
+}
+
+// placement returns the node list a slab belongs on under Prudence's
+// hint-aware policy (predicted list) or the conventional one when
+// pre-movement is disabled.
+func (c *Cache) placement(s *slabcore.Slab) slabcore.ListID {
+	if c.alloc.opts.DisablePreMove {
+		return slabcore.HomeList(s)
+	}
+	return slabcore.PredictedList(s)
+}
+
+// selectSlab picks the slab to refill from (lines 17-21 plus the §4.2
+// "Reduces total fragmentation" policy): scan up to SlabScanLimit
+// partial slabs, reconciling their latent entries, and prefer the slab
+// with the most live objects, skipping slabs whose live objects are
+// mostly deferred so they can drain to empty. Falls back to the free
+// list. Caller holds the node lock. Returns nil if nothing allocatable.
+func (c *Cache) selectSlab(node *slabcore.Node) *slabcore.Slab {
+	var best, fallback *slabcore.Slab
+	var misplaced []*slabcore.Slab
+	bestScore := -1
+	scan := c.alloc.opts.SlabScanLimit
+	node.WalkPartial(scan, func(s *slabcore.Slab) bool {
+		if s.LatentCount() > 0 {
+			if n := s.Reconcile(c.elapsed, c.base.Cfg.Poison); n > 0 {
+				c.latentTotal.Add(int64(-n))
+				// Reconciliation may have emptied the slab entirely;
+				// re-home it after the walk or it strands on the
+				// partial list where shrink never finds it.
+				if c.placement(s) != s.List() {
+					misplaced = append(misplaced, s)
+				}
+			}
+		}
+		if s.FreeCount() == 0 {
+			return true // nothing to take; keep walking
+		}
+		if c.alloc.opts.DisableSlabSelection {
+			best = s
+			return false
+		}
+		// "Mostly deferred": more objects awaiting the grace period
+		// than live; leave it to drain (Figure 5's slab B).
+		if s.LatentCount() >= s.InUse() && s.LatentCount() > 0 {
+			if fallback == nil {
+				fallback = s
+			}
+			return true
+		}
+		// Fullest-first packs allocations into already-committed slabs,
+		// letting sparse slabs drain — minimizing f_t.
+		score := s.InUse()*1024 - s.LatentCount()
+		if score > bestScore {
+			bestScore = score
+			best = s
+		}
+		return true
+	})
+	for _, s := range misplaced {
+		if s != best && s != fallback {
+			node.Move(s, c.placement(s))
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Free-list slabs may hold latent entries (pre-moved all-latent
+	// slabs); reconcile to see if one is allocatable yet.
+	for s := node.FirstFree(); s != nil; s = s.NextInList() {
+		if s.LatentCount() > 0 {
+			if n := s.Reconcile(c.elapsed, c.base.Cfg.Poison); n > 0 {
+				c.latentTotal.Add(int64(-n))
+			}
+		}
+		if s.FreeCount() > 0 {
+			return s
+		}
+	}
+	// Prefer a mostly-deferred partial slab over growing (§4.2: such
+	// slabs are avoided "unless it needs to grow the slab cache").
+	return fallback
+}
+
+// reconcileNode promotes elapsed latent objects in all of a node's
+// slabs and fixes up placements, returning the number promoted. Called
+// from the OOM-delay retry path and Drain.
+func (c *Cache) reconcileNode(node *slabcore.Node) int {
+	node.Lock()
+	var moved []*slabcore.Slab
+	total := 0
+	walk := func(first *slabcore.Slab) {
+		for s := first; s != nil; s = s.NextInList() {
+			if s.LatentCount() > 0 {
+				if n := s.Reconcile(c.elapsed, c.base.Cfg.Poison); n > 0 {
+					c.latentTotal.Add(int64(-n))
+					total += n
+				}
+			}
+			// Re-home any slab whose placement drifted (e.g. it was
+			// reconciled by an earlier pass that could not move it).
+			if c.placement(s) != s.List() {
+				moved = append(moved, s)
+			}
+		}
+	}
+	walk(node.FirstFull())
+	walk(node.FirstPartial())
+	walk(node.FirstFree())
+	for _, s := range moved {
+		node.Move(s, c.placement(s))
+	}
+	node.Unlock()
+	return total
+}
+
+// Free implements alloc.Cache's immediate free. The flush size is
+// latent-aware: more objects are flushed when the latent cache holds
+// more deferred objects (§4.2 "Object cache flush").
+func (c *Cache) Free(cpu int, r slabcore.Ref) {
+	if d := c.base.Debugger(); d != nil {
+		d.OnFree(r, cpu)
+	}
+	c.base.Ctr.Frees.Add(1)
+	c.base.UserFree()
+	cl := c.percpu[cpu]
+	cl.objs.Mu.Lock()
+	cl.freesSince++
+	cl.predFrees++
+	cl.objs.Put(r)
+	if cl.objs.Len() <= cl.objs.Size {
+		cl.objs.Mu.Unlock()
+		return
+	}
+	c.flushLocked(cpu, cl)
+	cl.objs.Mu.Unlock()
+	_, promoted := c.base.ShrinkNode(c.base.NodeFor(cpu), c.shrinkLimit(), c.elapsed)
+	c.latentTotal.Add(int64(-promoted))
+}
+
+// flushLocked flushes the object cache to the node lists; the amount
+// flushed grows with the latent backlog, and — with the prediction
+// extension — shrinks when freed objects are predicted to be
+// reallocated shortly. Caller holds cl.objs.Mu.
+func (c *Cache) flushLocked(cpu int, cl *cpuLocal) {
+	n := cl.objs.Len()/2 + len(cl.latent)
+	if c.alloc.opts.EnablePrediction {
+		switch {
+		case cl.predAllocs > cl.predFrees:
+			// Allocation-heavy window: freed objects have short
+			// "free lifetimes"; keep more of them cached.
+			n = cl.objs.Len()/4 + len(cl.latent)
+		case cl.predFrees > 2*cl.predAllocs:
+			// Teardown burst: these objects will not be re-needed
+			// soon; return more of them.
+			n = cl.objs.Len()*3/4 + len(cl.latent)
+		}
+		cl.predAllocs, cl.predFrees = 0, 0
+	}
+	victims := cl.objs.Take(n)
+	if len(victims) == 0 {
+		return
+	}
+	c.base.Ctr.Flushes.Add(1)
+	c.releaseToSlabs(victims)
+}
+
+// releaseToSlabs returns objects to their slabs under the appropriate
+// node locks, applying hint-aware placement.
+func (c *Cache) releaseToSlabs(refs []slabcore.Ref) {
+	for len(refs) > 0 {
+		node := refs[0].Slab.Node()
+		node.Lock()
+		rest := refs[:0]
+		for _, r := range refs {
+			if r.Slab.Node() != node {
+				rest = append(rest, r)
+				continue
+			}
+			r.Slab.PushFree(r.Idx, c.base.Cfg.Poison)
+			node.Move(r.Slab, c.placement(r.Slab))
+		}
+		node.Unlock()
+		refs = rest
+	}
+}
+
+// FreeDeferred implements the paper's Listing 2 turnkey API and
+// Algorithm 1's FREE_DEFERRED (lines 34-51): stamp the object with the
+// grace-period state and park it in the latent cache, spilling to the
+// latent slab when the latent cache is at its limit.
+func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
+	if d := c.base.Debugger(); d != nil {
+		d.OnFree(r, cpu)
+	}
+	ctr := &c.base.Ctr
+	ctr.DeferredFrees.Add(1)
+	c.base.UserFree()
+	cookie := c.alloc.rcu.Snapshot() // line 35: GET_GRACE_PERIOD_STATE
+	c.alloc.rcu.NeedGP()
+
+	cl := c.percpu[cpu]
+	threshold := c.base.Cfg.CacheSize // latent cache limit = object cache size (§4.1)
+
+	cl.objs.Mu.Lock()
+	cl.freesSince++
+	if len(cl.latent) < threshold { // line 39: fast path
+		cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
+		c.latentTotal.Add(1)
+		if cl.objs.Len()+len(cl.latent) > cl.objs.Size { // lines 41-43
+			c.armPreflush(cpu, cl)
+		}
+		cl.objs.Mu.Unlock()
+		return
+	}
+	// Lines 45-48: flush the object cache, merge (frees latent space if
+	// a grace period elapsed meanwhile), and retry the fast path.
+	c.flushLocked(cpu, cl)
+	c.mergeCaches(cl)
+	if len(cl.latent) < threshold {
+		cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
+		c.latentTotal.Add(1)
+		cl.objs.Mu.Unlock()
+		return
+	}
+	// Lines 49-51: overflow goes to latent slabs. Spill the oldest half
+	// of the latent cache in one batch (they elapse soonest and will be
+	// reconciled where they lie) rather than paying a node-lock
+	// round-trip per deferred object, and keep the newest — including
+	// the current one — in the latent cache for cheap merging.
+	spillCount := threshold / 2
+	if spillCount < 1 {
+		spillCount = 1
+	}
+	spill := make([]latentObj, spillCount)
+	copy(spill, cl.latent[:spillCount])
+	cl.latent = append(cl.latent[:0], cl.latent[spillCount:]...)
+	cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
+	c.latentTotal.Add(1)
+	cl.objs.Mu.Unlock()
+
+	c.spillLatentBatch(spill)
+}
+
+// putLatentSlab parks a deferred object in its slab's latent list and
+// performs PRE_MOVE_SLAB (lines 52-59).
+func (c *Cache) putLatentSlab(r slabcore.Ref, cookie rcu.Cookie) {
+	node := r.Slab.Node()
+	node.Lock()
+	r.Slab.PushLatent(r.Idx, cookie)
+	c.latentTotal.Add(1)
+	if !c.alloc.opts.DisablePreMove {
+		want := slabcore.PredictedList(r.Slab)
+		if want != r.Slab.List() {
+			node.Move(r.Slab, want)
+			c.base.Ctr.PreMoves.Add(1)
+		}
+	}
+	freeOver := node.FreeSlabs() > c.shrinkLimit()
+	node.Unlock()
+	if freeOver {
+		c.maybeShrink(node)
+	}
+}
+
+// maybeShrink shrinks the node's free list at most once per completed
+// grace period: latent-blocked slabs cannot become reclaimable without
+// a new grace period, and scanning them repeatedly under the node lock
+// would starve the other CPUs (and thereby the grace period itself).
+func (c *Cache) maybeShrink(node *slabcore.Node) {
+	gate := &c.shrinkGate[node.ID()]
+	gp := c.alloc.rcu.GPsCompleted() + 1 // +1: GP 0 state must still allow the first shrink
+	for {
+		last := gate.Load()
+		if gp == last {
+			return
+		}
+		if gate.CompareAndSwap(last, gp) {
+			break
+		}
+	}
+	_, promoted := c.base.ShrinkNode(node, c.shrinkLimit(), c.elapsed)
+	c.latentTotal.Add(int64(-promoted))
+}
+
+// armPreflush schedules an idle-time pre-flush for this CPU if one is
+// not already queued. Caller holds cl.objs.Mu.
+func (c *Cache) armPreflush(cpu int, cl *cpuLocal) {
+	if c.alloc.opts.DisablePreFlush || cl.preflushArmed {
+		return
+	}
+	cl.preflushArmed = true
+	c.alloc.machine.CPU(cpu).ScheduleIdle(func() { c.preflush(cpu) })
+}
+
+// preflush runs on the CPU's idle worker (§4.2 "Latent cache
+// pre-flush"): it moves deferred objects from the latent cache to their
+// latent slabs so the eventual merge cannot overflow the object cache,
+// working aggressively when frees outpace allocations and lazily
+// otherwise, and stopping once object+latent counts fit the cache.
+func (c *Cache) preflush(cpu int) {
+	cl := c.percpu[cpu]
+	for {
+		cl.objs.Mu.Lock()
+		// Merge first: if a grace period completed during pre-flush the
+		// safe objects go to the object cache, not the latent slab.
+		c.mergeCaches(cl)
+		excess := cl.objs.Len() + len(cl.latent) - cl.objs.Size
+		if excess <= 0 {
+			cl.preflushArmed = false
+			cl.allocsSince, cl.freesSince = 0, 0
+			cl.objs.Mu.Unlock()
+			return
+		}
+		aggressive := cl.freesSince >= cl.allocsSince ||
+			len(cl.latent) >= c.base.Cfg.CacheSize-1
+		batch := excess
+		if !aggressive && batch > 2 {
+			// Lazy mode: a high allocation rate will drain the object
+			// cache by itself; trickle small batches and yield.
+			batch = 2
+		}
+		if batch > len(cl.latent) {
+			batch = len(cl.latent)
+		}
+		if batch == 0 {
+			cl.preflushArmed = false
+			cl.objs.Mu.Unlock()
+			return
+		}
+		moved := make([]latentObj, batch)
+		copy(moved, cl.latent[:batch])
+		cl.latent = append(cl.latent[:0], cl.latent[batch:]...)
+		cl.objs.Mu.Unlock()
+
+		c.base.Ctr.PreFlushes.Add(1)
+		c.spillLatentBatch(moved)
+	}
+}
+
+// spillLatentBatch moves latent-cache entries into their latent slabs
+// under one node-lock acquisition per node, pre-moving each touched
+// slab once. Batching is what lets pre-flush spread node-list work over
+// idle time instead of adding a lock round-trip per deferred object.
+func (c *Cache) spillLatentBatch(entries []latentObj) {
+	for len(entries) > 0 {
+		node := entries[0].ref.Slab.Node()
+		rest := entries[:0]
+		touched := make(map[*slabcore.Slab]struct{}, 8)
+		node.Lock()
+		for _, lo := range entries {
+			if lo.ref.Slab.Node() != node {
+				rest = append(rest, lo)
+				continue
+			}
+			lo.ref.Slab.PushLatent(lo.ref.Idx, lo.cookie)
+			touched[lo.ref.Slab] = struct{}{}
+		}
+		if !c.alloc.opts.DisablePreMove {
+			for s := range touched {
+				want := slabcore.PredictedList(s)
+				if want != s.List() {
+					node.Move(s, want)
+					c.base.Ctr.PreMoves.Add(1)
+				}
+			}
+		}
+		freeOver := node.FreeSlabs() > c.shrinkLimit()
+		node.Unlock()
+		if freeOver {
+			c.maybeShrink(node)
+		}
+		entries = rest
+	}
+}
+
+// Drain implements alloc.Cache: merge/flush everything and return all
+// reclaimable slabs, waiting out grace periods for latent objects.
+func (c *Cache) Drain() {
+	for {
+		// Flush per-CPU object caches and spill latent caches to slabs.
+		for _, cl := range c.percpu {
+			cl.objs.Mu.Lock()
+			c.mergeCaches(cl)
+			objs := cl.objs.TakeAll()
+			lat := cl.latent
+			cl.latent = nil
+			cl.objs.Mu.Unlock()
+			if len(objs) > 0 {
+				c.base.Ctr.Flushes.Add(1)
+				c.releaseToSlabs(objs)
+			}
+			for _, lo := range lat {
+				c.latentTotal.Add(-1)
+				c.putLatentSlab(lo.ref, lo.cookie)
+			}
+		}
+		for _, n := range c.base.NodesArr {
+			c.reconcileNode(n)
+			_, promoted := c.base.ShrinkNode(n, 0, c.elapsed)
+			c.latentTotal.Add(int64(-promoted))
+		}
+		if c.latentTotal.Load() == 0 && c.percpuEmpty() {
+			return
+		}
+		// Latent objects remain, or a concurrent idle pre-flush merged
+		// objects into a CPU cache after we flushed it; wait out a
+		// grace period and retry.
+		c.alloc.rcu.Synchronize()
+	}
+}
+
+// percpuEmpty verifies under the per-CPU locks that no objects remain
+// in any object or latent cache. Needed because the idle pre-flush
+// worker can merge elapsed latent objects into a CPU cache concurrently
+// with Drain's flush pass.
+func (c *Cache) percpuEmpty() bool {
+	for _, cl := range c.percpu {
+		cl.objs.Mu.Lock()
+		empty := cl.objs.Len() == 0 && len(cl.latent) == 0
+		cl.objs.Mu.Unlock()
+		if !empty {
+			return false
+		}
+	}
+	return true
+}
+
+// Audit verifies the cache's structural invariants (see slabcore.Audit).
+func (c *Cache) Audit() error { return c.base.Audit() }
+
+// EnableDebug attaches SLUB_DEBUG-style red zones and owner tracking to
+// this cache. Must be called before the first allocation when red zones
+// are requested.
+func (c *Cache) EnableDebug(cfg slabcore.DebugConfig) *slabcore.Debugger {
+	return c.base.EnableDebug(cfg)
+}
+
+// SetTrace attaches an event ring to this cache (nil detaches).
+func (c *Cache) SetTrace(r *trace.Ring) { c.base.SetTrace(r) }

@@ -1,0 +1,287 @@
+// Package ebr implements epoch-based reclamation (Fraser-style EBR,
+// one of the memory reclamation schemes surveyed by Hart et al., the
+// paper's [22]) as an alternative grace-period provider for Prudence.
+//
+// Where internal/rcu detects reader completion through context-switch
+// quiescent states, EBR does it through epochs: each CPU entering a
+// critical section pins the global epoch it observed; the global epoch
+// may advance only when every pinned CPU has observed the current one.
+// A deferred object is safe once the global epoch has advanced twice
+// past its stamp — readers from the stamp's epoch can survive at most
+// one advance.
+//
+// The package satisfies core.GracePeriods, demonstrating the paper's
+// turnkey claim: Prudence runs unchanged over a completely different
+// procrastination-based synchronization mechanism, with all added
+// complexity confined to the allocator side.
+package ebr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prudence/internal/rcu"
+	"prudence/internal/vcpu"
+)
+
+// Options configures the epoch engine.
+type Options struct {
+	// AdvanceInterval is the minimum gap between epoch advances
+	// (default 200µs). Two advances make one grace period.
+	AdvanceInterval time.Duration
+	// PollInterval is how often the advancer re-checks pinned CPUs
+	// (default 20µs).
+	PollInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.AdvanceInterval <= 0 {
+		o.AdvanceInterval = 200 * time.Microsecond
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 20 * time.Microsecond
+	}
+	return o
+}
+
+type cpuState struct {
+	// pinned is 0 when outside any critical section; when inside, it
+	// holds 1 + the global epoch observed at entry.
+	pinned  atomic.Uint64
+	nesting int32 // owner-goroutine only
+}
+
+// EBR is the epoch engine. Read-side sections are delimited with
+// Enter/Exit; the engine exposes the same pollable grace-period state
+// as internal/rcu (cookies in completed-grace-period units, where one
+// grace period is two epoch advances).
+type EBR struct {
+	machine *vcpu.Machine
+	opts    Options
+	percpu  []*cpuState
+
+	epoch  atomic.Uint64 // global epoch counter
+	needGP atomic.Bool
+
+	gpMu   sync.Mutex
+	gpCond *sync.Cond
+	kick   chan struct{}
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates and starts an epoch engine for machine.
+func New(machine *vcpu.Machine, opts Options) *EBR {
+	e := &EBR{
+		machine: machine,
+		opts:    opts.withDefaults(),
+		percpu:  make([]*cpuState, machine.NumCPU()),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	e.gpCond = sync.NewCond(&e.gpMu)
+	for i := range e.percpu {
+		e.percpu[i] = &cpuState{}
+	}
+	e.wg.Add(1)
+	go e.advancer()
+	return e
+}
+
+// Stop shuts the engine down.
+func (e *EBR) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+	e.gpMu.Lock()
+	e.gpCond.Broadcast()
+	e.gpMu.Unlock()
+}
+
+func (e *EBR) cpu(id int) *cpuState {
+	if id < 0 || id >= len(e.percpu) {
+		panic(fmt.Sprintf("ebr: CPU id %d out of range [0,%d)", id, len(e.percpu)))
+	}
+	return e.percpu[id]
+}
+
+// Enter begins a read-side critical section on cpu, pinning the epoch
+// it observes. Sections may nest.
+func (e *EBR) Enter(cpu int) {
+	cs := e.cpu(cpu)
+	if cs.nesting == 0 {
+		// Pin-then-recheck: the advancer may pass between our epoch
+		// load and the pin store (it would have seen us unpinned). If
+		// the epoch moved, re-pin at the new value — nothing has been
+		// accessed yet, so observing the newer epoch is safe. Once the
+		// epoch is stable across the pin, any later advance must see
+		// the pin.
+		for {
+			cur := e.epoch.Load()
+			cs.pinned.Store(1 + cur)
+			if e.epoch.Load() == cur {
+				break
+			}
+		}
+	}
+	cs.nesting++
+}
+
+// Exit ends a read-side critical section on cpu.
+func (e *EBR) Exit(cpu int) {
+	cs := e.cpu(cpu)
+	cs.nesting--
+	if cs.nesting < 0 {
+		panic("ebr: unbalanced Exit")
+	}
+	if cs.nesting == 0 {
+		cs.pinned.Store(0)
+	}
+}
+
+// Held reports whether cpu is inside a critical section.
+func (e *EBR) Held(cpu int) bool { return e.cpu(cpu).nesting > 0 }
+
+// Epoch returns the current global epoch.
+func (e *EBR) Epoch() uint64 { return e.epoch.Load() }
+
+// --- core.GracePeriods ---
+//
+// Cookies are expressed in epochs: a cookie c is elapsed once the
+// global epoch is at least c. Snapshot returns now+2: readers pinned at
+// the current epoch may survive one advance (the advance waits only for
+// CPUs pinned at OLDER epochs), so two advances bound their lifetime.
+
+// Snapshot returns a grace-period cookie.
+func (e *EBR) Snapshot() rcu.Cookie {
+	return rcu.Cookie(e.epoch.Load() + 2)
+}
+
+// Elapsed reports whether the cookie's grace period has passed.
+func (e *EBR) Elapsed(c rcu.Cookie) bool {
+	return e.epoch.Load() >= uint64(c)
+}
+
+// NeedGP signals demand for epoch advances.
+func (e *EBR) NeedGP() {
+	e.needGP.Store(true)
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// GPsCompleted returns completed grace periods (epoch advances halved,
+// so once-per-GP gates fire at the paper's granularity).
+func (e *EBR) GPsCompleted() uint64 { return e.epoch.Load() / 2 }
+
+// WaitElapsedOn blocks until cookie c elapses. EBR readers cannot block
+// (the caller is outside any critical section by contract), so the
+// calling CPU needs no special quiescent treatment: its pinned flag is
+// already clear.
+func (e *EBR) WaitElapsedOn(cpu int, c rcu.Cookie) bool {
+	if e.cpu(cpu).nesting > 0 {
+		panic("ebr: WaitElapsedOn inside critical section")
+	}
+	return e.waitElapsed(c)
+}
+
+// Synchronize blocks until a full grace period has elapsed.
+func (e *EBR) Synchronize() {
+	e.waitElapsed(e.Snapshot())
+}
+
+func (e *EBR) waitElapsed(c rcu.Cookie) bool {
+	if e.Elapsed(c) {
+		return true
+	}
+	e.NeedGP()
+	e.gpMu.Lock()
+	defer e.gpMu.Unlock()
+	for !e.Elapsed(c) {
+		select {
+		case <-e.stop:
+			return e.Elapsed(c)
+		default:
+		}
+		e.gpCond.Wait()
+	}
+	return true
+}
+
+// advancer is the epoch-advance goroutine: when there is demand, it
+// advances the global epoch as soon as no CPU remains pinned at an
+// older epoch.
+func (e *EBR) advancer() {
+	defer e.wg.Done()
+	timer := time.NewTimer(e.opts.AdvanceInterval)
+	defer timer.Stop()
+	last := time.Now()
+	for {
+		if !e.needGP.Load() {
+			select {
+			case <-e.stop:
+				return
+			case <-e.kick:
+			case <-timer.C:
+				timer.Reset(e.opts.AdvanceInterval)
+			}
+			continue
+		}
+		if gap := time.Since(last); gap < e.opts.AdvanceInterval {
+			select {
+			case <-e.stop:
+				return
+			case <-time.After(e.opts.AdvanceInterval - gap):
+			}
+		}
+		cur := e.epoch.Load()
+		// Wait until no CPU is pinned at an epoch older than cur.
+		for {
+			stragglers := false
+			for _, cs := range e.percpu {
+				if p := cs.pinned.Load(); p != 0 && p-1 < cur {
+					stragglers = true
+					break
+				}
+			}
+			if !stragglers {
+				break
+			}
+			select {
+			case <-e.stop:
+				return
+			case <-time.After(e.opts.PollInterval):
+			}
+		}
+		e.epoch.Store(cur + 1)
+		last = time.Now()
+		// Demand is cleared only every second advance (a full grace
+		// period); odd advances immediately continue.
+		if (cur+1)%2 == 0 {
+			e.needGP.Store(false)
+		}
+		e.gpMu.Lock()
+		e.gpCond.Broadcast()
+		e.gpMu.Unlock()
+	}
+}
+
+// ReadLock is an alias for Enter, letting the EBR engine satisfy the
+// data structures' ReadSync interface directly.
+func (e *EBR) ReadLock(cpu int) { e.Enter(cpu) }
+
+// ReadUnlock is an alias for Exit.
+func (e *EBR) ReadUnlock(cpu int) { e.Exit(cpu) }
+
+// SynchronizeOn blocks until a grace period elapses; EBR needs no
+// special quiescent treatment for the (unpinned) calling CPU.
+func (e *EBR) SynchronizeOn(cpu int) {
+	if e.cpu(cpu).nesting > 0 {
+		panic("ebr: SynchronizeOn inside critical section")
+	}
+	e.Synchronize()
+}

@@ -1,0 +1,381 @@
+// Package integration_test exercises the full stack — arena, buddy
+// allocator, virtual CPUs, RCU, both allocators, and all three
+// RCU-protected data structures — in combined scenarios that no single
+// package test covers: many caches sharing one arena, mixed data
+// structures updated concurrently, failure injection, and post-run
+// structural audits.
+package integration_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcuhash"
+	"prudence/internal/rculist"
+	"prudence/internal/rcutree"
+	"prudence/internal/slabcore"
+	"prudence/internal/slub"
+	"prudence/internal/vcpu"
+)
+
+func builders() map[string]alloctest.BuildAllocator {
+	return map[string]alloctest.BuildAllocator{
+		"slub": func(s *alloctest.Stack) alloc.Allocator {
+			return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+		},
+		"prudence": func(s *alloctest.Stack) alloc.Allocator {
+			return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+		},
+	}
+}
+
+func auditAll(t *testing.T, a alloc.Allocator) {
+	t.Helper()
+	for _, c := range a.Caches() {
+		if auditor, ok := c.(alloctest.Auditor); ok {
+			if err := auditor.Audit(); err != nil {
+				t.Fatalf("cache %s: %v", c.Name(), err)
+			}
+		}
+	}
+}
+
+// All three data structures share one allocator and one arena, updated
+// from every CPU concurrently, then drain to zero.
+func TestAllStructuresShareOneArena(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 8192
+			s := alloctest.NewStack(t, cfg, build)
+
+			listCache := s.Alloc.NewCache(slabcore.DefaultConfig("lnode", 128, cfg.CPUs))
+			hashCache := s.Alloc.NewCache(slabcore.DefaultConfig("hnode", 64, cfg.CPUs))
+			treeCache := s.Alloc.NewCache(slabcore.DefaultConfig("tnode", 256, cfg.CPUs))
+
+			lists := make([]*rculist.List, cfg.CPUs)
+			for i := range lists {
+				lists[i] = rculist.New(listCache, s.RCU)
+			}
+			m := rcuhash.New(hashCache, s.RCU, 16)
+			trees := make([]*rcutree.Tree, cfg.CPUs)
+			for i := range trees {
+				trees[i] = rcutree.New(treeCache, s.RCU)
+			}
+
+			var failed atomic.Bool
+			s.Machine.RunOnAll(func(c *vcpu.CPU) {
+				cpu := c.ID()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				base := uint64(cpu) << 32
+				for i := uint64(0); i < 400; i++ {
+					if err := lists[cpu].Insert(cpu, i, []byte{byte(i)}); err != nil {
+						failed.Store(true)
+						return
+					}
+					if i%2 == 0 {
+						if _, err := lists[cpu].Update(cpu, i/2, []byte{byte(i)}); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+					if err := m.Put(cpu, base+i%64, []byte{byte(i)}); err != nil {
+						failed.Store(true)
+						return
+					}
+					if err := trees[cpu].Put(cpu, i%128, []byte{byte(i)}); err != nil {
+						failed.Store(true)
+						return
+					}
+					if i%8 == 7 {
+						if _, err := trees[cpu].Delete(cpu, (i-4)%128); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+					s.RCU.QuiescentState(cpu)
+				}
+			})
+			if failed.Load() {
+				t.Fatal("a structure operation failed")
+			}
+
+			// Teardown every structure, then drain every cache.
+			s.Machine.RunOnAll(func(c *vcpu.CPU) {
+				cpu := c.ID()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				base := uint64(cpu) << 32
+				for i := uint64(0); i < 400; i++ {
+					if ok, err := lists[cpu].Delete(cpu, i); err != nil || !ok {
+						failed.Store(true)
+						return
+					}
+					if i < 64 {
+						if _, err := m.Delete(cpu, base+i); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+					if i < 128 {
+						if _, err := trees[cpu].Delete(cpu, i); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+					s.RCU.QuiescentState(cpu)
+				}
+			})
+			if failed.Load() {
+				t.Fatal("teardown failed")
+			}
+			for _, c := range s.Alloc.Caches() {
+				c.Drain()
+			}
+			auditAll(t, s.Alloc)
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked with empty structures", used)
+			}
+		})
+	}
+}
+
+// Caches compete for a small arena: one cache's OOM does not corrupt
+// its siblings, and freeing one cache's memory lets another grow.
+func TestCachesCompeteForArena(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 32
+			s := alloctest.NewStack(t, cfg, build)
+			big := s.Alloc.NewCache(slabcore.CacheConfig{
+				Name: "big", ObjectSize: 2048, SlabOrder: 0, CacheSize: 2, Poison: true,
+			})
+			small := s.Alloc.NewCache(slabcore.CacheConfig{
+				Name: "small", ObjectSize: 256, SlabOrder: 0, CacheSize: 4, Poison: true,
+			})
+
+			// big consumes the whole arena.
+			var hogs []slabcore.Ref
+			for {
+				r, err := big.Malloc(0)
+				if err != nil {
+					if !errors.Is(err, pagealloc.ErrOutOfMemory) {
+						t.Fatalf("unexpected error: %v", err)
+					}
+					break
+				}
+				hogs = append(hogs, r)
+			}
+			// small now cannot grow.
+			if _, err := small.Malloc(0); !errors.Is(err, pagealloc.ErrOutOfMemory) {
+				t.Fatalf("small cache allocated from a full arena: %v", err)
+			}
+			// Release a chunk of big; small must recover.
+			for _, r := range hogs[:len(hogs)/2] {
+				big.Free(0, r)
+			}
+			big.Drain() // return free slabs to the buddy allocator
+			r, err := small.Malloc(0)
+			if err != nil {
+				t.Fatalf("small cache still starved after big freed: %v", err)
+			}
+			small.Free(0, r)
+			for _, h := range hogs[len(hogs)/2:] {
+				big.Free(0, h)
+			}
+			big.Drain()
+			small.Drain()
+			auditAll(t, s.Alloc)
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked", used)
+			}
+		})
+	}
+}
+
+// Failure injection: a reader that never quiesces stalls grace periods;
+// deferred objects pile up but immediate frees keep both allocators
+// fully functional, and releasing the reader drains everything.
+func TestGPStallDoesNotBlockImmediatePath(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 4096
+			s := alloctest.NewStack(t, cfg, build)
+			c := s.Alloc.NewCache(alloctest.TestCacheConfig("stall"))
+
+			s.RCU.ExitIdle(1)
+			s.RCU.ReadLock(1)
+
+			// Deferred objects accumulate unprocessed...
+			for i := 0; i < 200; i++ {
+				r, err := c.Malloc(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.FreeDeferred(0, r)
+			}
+			// ...while the immediate path cycles fine.
+			for i := 0; i < 5000; i++ {
+				r, err := c.Malloc(0)
+				if err != nil {
+					t.Fatalf("immediate path failed during GP stall: %v", err)
+				}
+				c.Free(0, r)
+			}
+			gps := s.RCU.GPsCompleted()
+			s.RCU.ReadUnlock(1)
+			s.RCU.QuiescentState(1)
+			s.RCU.EnterIdle(1)
+			c.Drain()
+			auditAll(t, s.Alloc)
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked after stall release", used)
+			}
+			if s.RCU.GPsCompleted() == gps {
+				t.Fatal("no grace period completed after the stall was released")
+			}
+		})
+	}
+}
+
+// The kmalloc front works end-to-end over both allocators with mixed
+// sizes from all CPUs.
+func TestKmallocFrontConcurrent(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 16384
+			s := alloctest.NewStack(t, cfg, build)
+			k := alloc.NewKmalloc(s.Alloc, cfg.CPUs)
+			var fail atomic.Bool
+			s.Machine.RunOnAll(func(c *vcpu.CPU) {
+				cpu := c.ID()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				sizes := []int{24, 64, 100, 256, 777, 2048, 4000}
+				var live []slabcore.Ref
+				for i := 0; i < 2000; i++ {
+					sz := sizes[i%len(sizes)]
+					r, err := k.Malloc(cpu, sz)
+					if err != nil {
+						fail.Store(true)
+						return
+					}
+					r.Bytes()[0] = byte(i)
+					live = append(live, r)
+					if len(live) > 32 {
+						victim := live[0]
+						live = live[1:]
+						if i%3 == 0 {
+							k.FreeDeferred(cpu, victim)
+						} else {
+							k.Free(cpu, victim)
+						}
+					}
+					s.RCU.QuiescentState(cpu)
+				}
+				for _, r := range live {
+					k.Free(cpu, r)
+				}
+			})
+			if fail.Load() {
+				t.Fatal("kmalloc op failed")
+			}
+			for _, c := range k.Caches() {
+				c.Drain()
+			}
+			auditAll(t, s.Alloc)
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked", used)
+			}
+		})
+	}
+}
+
+// Endurance smoke in integration form: with deployed-style throttling
+// on a small arena, the baseline must hit OOM before finishing while
+// Prudence finishes. (The full comparison lives in internal/bench; this
+// guards the integration of workload+allocator+rcu at the test level.)
+func TestEnduranceContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent comparison")
+	}
+	mkStack := func(build alloctest.BuildAllocator) (*alloctest.Stack, alloc.Cache) {
+		cfg := alloctest.DefaultStackConfig()
+		cfg.Pages = 512
+		cfg.RCU.Blimit = 2
+		cfg.RCU.ExpeditedBlimit = 2
+		cfg.RCU.ThrottleDelay = 10 * time.Millisecond
+		cfg.RCU.ExpeditedDelay = 10 * time.Millisecond
+		cfg.RCU.Qhimark = -1
+		s := alloctest.NewStack(t, cfg, build)
+		return s, s.Alloc.NewCache(slabcore.DefaultConfig("endur", 512, cfg.CPUs))
+	}
+
+	s1, slubCache := mkStack(builders()["slub"])
+	var slubOOM atomic.Bool
+	lists := make([]*rculist.List, s1.Machine.NumCPU())
+	for i := range lists {
+		lists[i] = rculist.New(slubCache, s1.RCU)
+	}
+	s1.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		s1.RCU.ExitIdle(cpu)
+		defer s1.RCU.EnterIdle(cpu)
+		l := lists[cpu]
+		for k := 0; k < 8; k++ {
+			if err := l.Insert(cpu, uint64(k), []byte{1}); err != nil {
+				slubOOM.Store(true)
+				return
+			}
+		}
+		for i := 0; i < 50000; i++ {
+			if _, err := l.Update(cpu, uint64(i%8), []byte{2}); err != nil {
+				slubOOM.Store(true)
+				return
+			}
+			s1.RCU.QuiescentState(cpu)
+		}
+	})
+	if !slubOOM.Load() {
+		t.Error("baseline survived the endurance contrast (expected OOM)")
+	}
+
+	s2, pruCache := mkStack(builders()["prudence"])
+	var pruFail atomic.Bool
+	lists2 := make([]*rculist.List, s2.Machine.NumCPU())
+	for i := range lists2 {
+		lists2[i] = rculist.New(pruCache, s2.RCU)
+	}
+	s2.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		s2.RCU.ExitIdle(cpu)
+		defer s2.RCU.EnterIdle(cpu)
+		l := lists2[cpu]
+		for k := 0; k < 8; k++ {
+			if err := l.Insert(cpu, uint64(k), []byte{1}); err != nil {
+				pruFail.Store(true)
+				return
+			}
+		}
+		for i := 0; i < 50000; i++ {
+			if _, err := l.Update(cpu, uint64(i%8), []byte{2}); err != nil {
+				pruFail.Store(true)
+				return
+			}
+			s2.RCU.QuiescentState(cpu)
+		}
+	})
+	if pruFail.Load() {
+		t.Error("Prudence failed the endurance contrast")
+	}
+}

@@ -1,0 +1,145 @@
+// Package memarena provides the simulated physical memory that the rest
+// of the system allocates from.
+//
+// The paper's evaluation runs inside the Linux kernel where slabs are
+// built out of physical page frames obtained from the buddy page
+// allocator. In this reproduction the "physical memory" is a fixed-size
+// arena divided into page frames with real []byte backing. The arena is
+// the single source of truth for the "total used memory in the system"
+// series plotted in Figure 3: every slab grow consumes frames here and
+// every slab shrink returns them.
+//
+// The arena itself only hands out page frames and tracks accounting;
+// placement policy (orders, splitting, coalescing) lives in package
+// pagealloc.
+package memarena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the size of a page frame in bytes. It mirrors the 4 KiB
+// pages of the paper's x86 test machine.
+const PageSize = 4096
+
+// Arena is a fixed-capacity collection of page frames.
+//
+// Frames are identified by index in [0, Pages()). Data access returns
+// slices aliasing the arena's backing store, so objects handed out by
+// the allocators are real memory that callers can read and write.
+type Arena struct {
+	pages   int
+	backing []byte
+
+	// used counts frames currently handed out. It is maintained with
+	// atomics so that samplers never block allocation.
+	used atomic.Int64
+	peak atomic.Int64
+
+	mu       sync.Mutex
+	samplers []func(usedPages, totalPages int)
+}
+
+// New creates an arena with the given number of page frames.
+// It panics if pages is not positive; the arena is the root of the
+// simulated machine and a zero-size machine is a construction bug, not
+// a runtime condition.
+func New(pages int) *Arena {
+	if pages <= 0 {
+		panic(fmt.Sprintf("memarena: non-positive page count %d", pages))
+	}
+	return &Arena{
+		pages:   pages,
+		backing: make([]byte, pages*PageSize),
+	}
+}
+
+// Pages returns the total number of page frames in the arena.
+func (a *Arena) Pages() int { return a.pages }
+
+// Bytes returns the total capacity of the arena in bytes.
+func (a *Arena) Bytes() int64 { return int64(a.pages) * PageSize }
+
+// UsedPages returns the number of frames currently handed out.
+func (a *Arena) UsedPages() int { return int(a.used.Load()) }
+
+// UsedBytes returns the number of bytes currently handed out.
+func (a *Arena) UsedBytes() int64 { return a.used.Load() * PageSize }
+
+// PeakPages returns the high-water mark of frames handed out.
+func (a *Arena) PeakPages() int { return int(a.peak.Load()) }
+
+// Page returns the backing bytes of frame idx. The returned slice has
+// length PageSize and aliases arena memory.
+func (a *Arena) Page(idx int) []byte {
+	if idx < 0 || idx >= a.pages {
+		panic(fmt.Sprintf("memarena: page index %d out of range [0,%d)", idx, a.pages))
+	}
+	off := idx * PageSize
+	return a.backing[off : off+PageSize : off+PageSize]
+}
+
+// Range returns the backing bytes for n contiguous frames starting at
+// frame idx.
+func (a *Arena) Range(idx, n int) []byte {
+	if n < 0 || idx < 0 || idx+n > a.pages {
+		panic(fmt.Sprintf("memarena: range [%d,%d) out of bounds [0,%d)", idx, idx+n, a.pages))
+	}
+	off := idx * PageSize
+	end := off + n*PageSize
+	return a.backing[off:end:end]
+}
+
+// Acquire records that n frames were handed out. The page allocator
+// calls this after it has chosen which frames to hand out; the arena
+// only does accounting and sampling.
+func (a *Arena) Acquire(n int) {
+	if n <= 0 {
+		return
+	}
+	used := a.used.Add(int64(n))
+	if used > int64(a.pages) {
+		// The page allocator must never over-commit the arena; this is
+		// an internal invariant, not a caller-visible OOM.
+		panic(fmt.Sprintf("memarena: over-commit: %d used of %d", used, a.pages))
+	}
+	for {
+		peak := a.peak.Load()
+		if used <= peak || a.peak.CompareAndSwap(peak, used) {
+			break
+		}
+	}
+	a.notify(int(used))
+}
+
+// Release records that n frames were returned.
+func (a *Arena) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	used := a.used.Add(int64(-n))
+	if used < 0 {
+		panic(fmt.Sprintf("memarena: negative usage %d", used))
+	}
+	a.notify(int(used))
+}
+
+// AddSampler registers fn to be invoked (synchronously) whenever the
+// used-page count changes. Samplers feed the used-memory time series of
+// Figure 3. fn must be fast and must not call back into the arena.
+func (a *Arena) AddSampler(fn func(usedPages, totalPages int)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.samplers = append(a.samplers, fn)
+}
+
+func (a *Arena) notify(used int) {
+	a.mu.Lock()
+	samplers := a.samplers
+	a.mu.Unlock()
+	for _, fn := range samplers {
+		fn(used, a.pages)
+	}
+}

@@ -1,0 +1,200 @@
+package memarena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestSizes(t *testing.T) {
+	a := New(16)
+	if got := a.Pages(); got != 16 {
+		t.Errorf("Pages() = %d, want 16", got)
+	}
+	if got := a.Bytes(); got != 16*PageSize {
+		t.Errorf("Bytes() = %d, want %d", got, 16*PageSize)
+	}
+	if got := a.UsedPages(); got != 0 {
+		t.Errorf("fresh arena UsedPages() = %d, want 0", got)
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	a := New(8)
+	a.Acquire(3)
+	if got := a.UsedPages(); got != 3 {
+		t.Fatalf("UsedPages() = %d, want 3", got)
+	}
+	a.Acquire(5)
+	if got := a.UsedPages(); got != 8 {
+		t.Fatalf("UsedPages() = %d, want 8", got)
+	}
+	if got := a.PeakPages(); got != 8 {
+		t.Fatalf("PeakPages() = %d, want 8", got)
+	}
+	a.Release(8)
+	if got := a.UsedPages(); got != 0 {
+		t.Fatalf("UsedPages() = %d, want 0", got)
+	}
+	if got := a.PeakPages(); got != 8 {
+		t.Fatalf("PeakPages() after release = %d, want 8", got)
+	}
+	if got := a.UsedBytes(); got != 0 {
+		t.Fatalf("UsedBytes() = %d, want 0", got)
+	}
+}
+
+func TestAcquireZeroAndNegativeIgnored(t *testing.T) {
+	a := New(4)
+	a.Acquire(0)
+	a.Acquire(-2)
+	a.Release(0)
+	a.Release(-2)
+	if got := a.UsedPages(); got != 0 {
+		t.Fatalf("UsedPages() = %d, want 0", got)
+	}
+}
+
+func TestOverCommitPanics(t *testing.T) {
+	a := New(4)
+	a.Acquire(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-commit did not panic")
+		}
+	}()
+	a.Acquire(1)
+}
+
+func TestNegativeUsagePanics(t *testing.T) {
+	a := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative usage did not panic")
+		}
+	}()
+	a.Release(1)
+}
+
+func TestPageBackingDistinct(t *testing.T) {
+	a := New(4)
+	p0 := a.Page(0)
+	p1 := a.Page(1)
+	if len(p0) != PageSize || len(p1) != PageSize {
+		t.Fatalf("page lengths %d,%d want %d", len(p0), len(p1), PageSize)
+	}
+	for i := range p0 {
+		p0[i] = 0xAA
+	}
+	for _, b := range p1 {
+		if b != 0 {
+			t.Fatal("write to page 0 leaked into page 1")
+		}
+	}
+	// Capacity is clipped so appends cannot stomp the next page.
+	p0 = append(p0, 0xBB)
+	if a.Page(1)[0] != 0 {
+		t.Fatal("append to page slice overwrote neighbouring page")
+	}
+}
+
+func TestPageOutOfRangePanics(t *testing.T) {
+	a := New(2)
+	for _, idx := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Page(%d) did not panic", idx)
+				}
+			}()
+			a.Page(idx)
+		}()
+	}
+}
+
+func TestRange(t *testing.T) {
+	a := New(8)
+	r := a.Range(2, 3)
+	if len(r) != 3*PageSize {
+		t.Fatalf("Range len = %d, want %d", len(r), 3*PageSize)
+	}
+	r[0] = 0x7F
+	if a.Page(2)[0] != 0x7F {
+		t.Fatal("Range does not alias Page backing")
+	}
+	for _, bad := range [][2]int{{-1, 1}, {7, 2}, {0, -1}, {0, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Range(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			a.Range(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSamplerObservesChanges(t *testing.T) {
+	a := New(8)
+	var mu sync.Mutex
+	var seen []int
+	a.AddSampler(func(used, total int) {
+		if total != 8 {
+			t.Errorf("sampler total = %d, want 8", total)
+		}
+		mu.Lock()
+		seen = append(seen, used)
+		mu.Unlock()
+	})
+	a.Acquire(2)
+	a.Acquire(1)
+	a.Release(3)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{2, 3, 0}
+	if len(seen) != len(want) {
+		t.Fatalf("sampler saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("sampler saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	const workers, perWorker = 8, 100
+	a := New(workers * perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Acquire(1)
+			}
+			for i := 0; i < perWorker; i++ {
+				a.Release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.UsedPages(); got != 0 {
+		t.Fatalf("UsedPages() = %d after balanced ops, want 0", got)
+	}
+	if got := a.PeakPages(); got < perWorker || got > workers*perWorker {
+		t.Fatalf("PeakPages() = %d, want within [%d,%d]", got, perWorker, workers*perWorker)
+	}
+}

@@ -1,0 +1,60 @@
+package pagealloc
+
+import (
+	"testing"
+
+	"prudence/internal/memarena"
+)
+
+// FuzzAllocFree drives the buddy allocator with an arbitrary op tape:
+// each byte is an operation (low bit: alloc/free; remaining bits pick
+// the order or the victim). Invariants: no overlap among live runs,
+// accounting balances, and freeing everything restores full coalescing.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{0x00, 0x02, 0x04, 0x01, 0x03})
+	f.Add([]byte{0xFF, 0x80, 0x41, 0x00, 0x00, 0x13})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		a := New(memarena.New(128))
+		var live []Run
+		for _, b := range tape {
+			if b&1 == 0 || len(live) == 0 {
+				order := int(b>>1) % 4
+				r, err := a.Alloc(order)
+				if err != nil {
+					continue
+				}
+				live = append(live, r)
+			} else {
+				i := int(b>>1) % len(live)
+				a.Free(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		// No overlap among live runs.
+		owned := map[int]bool{}
+		pages := 0
+		for _, r := range live {
+			for p := r.Start; p < r.Start+r.Pages(); p++ {
+				if owned[p] {
+					t.Fatalf("page %d owned twice", p)
+				}
+				owned[p] = true
+				pages++
+			}
+		}
+		if got := a.Arena().UsedPages(); got != pages {
+			t.Fatalf("arena says %d used, live runs hold %d", got, pages)
+		}
+		for _, r := range live {
+			a.Free(r)
+		}
+		if a.FreePages() != 128 || a.Arena().UsedPages() != 0 {
+			t.Fatalf("not fully restored: free=%d used=%d", a.FreePages(), a.Arena().UsedPages())
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package pagealloc implements a binary buddy page allocator over a
+// memarena.Arena.
+//
+// It is the analogue of the Linux buddy page allocator that SLUB and
+// Prudence grow slabs from and shrink slabs back to. Allocations are in
+// power-of-two page runs ("orders"); freed runs are coalesced with
+// their buddies. The allocator exposes a memory-pressure watermark with
+// subscriber notification: the RCU callback machinery uses it to
+// expedite deferred processing under pressure (as the Linux kernel does,
+// observed around the 70 s mark of the paper's Figure 3), and Prudence
+// uses it to decide when the OOM path should wait for a grace period.
+package pagealloc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prudence/internal/memarena"
+)
+
+// MaxOrder is the largest supported allocation order: a single
+// allocation can span at most 2^MaxOrder pages (matching the Linux
+// default MAX_ORDER-1 = 10, i.e. 4 MiB runs of 4 KiB pages).
+const MaxOrder = 10
+
+// ErrOutOfMemory is returned when no page run of the requested order can
+// be assembled.
+var ErrOutOfMemory = errors.New("pagealloc: out of memory")
+
+// Run identifies an allocated run of 2^Order contiguous pages starting
+// at page Start.
+type Run struct {
+	Start int
+	Order int
+}
+
+// Pages returns the number of pages in the run.
+func (r Run) Pages() int { return 1 << r.Order }
+
+// Stats counts allocator activity since construction.
+type Stats struct {
+	Allocs    uint64 // successful allocations
+	Frees     uint64 // frees
+	Splits    uint64 // buddy splits performed
+	Coalesces uint64 // buddy merges performed
+	Failures  uint64 // allocations that returned ErrOutOfMemory
+}
+
+// Allocator is a binary buddy allocator. It is safe for concurrent use.
+type Allocator struct {
+	arena *memarena.Arena
+
+	mu        sync.Mutex
+	free      [MaxOrder + 1]map[int]struct{} // start page -> member, per order
+	blockOrd  map[int]int                    // start page of allocated block -> order
+	freePages int
+	stats     Stats
+
+	pressureAt  int // used-page watermark above which pressure holds
+	underPress  bool
+	pressureSub []func(under bool)
+}
+
+// New creates a buddy allocator managing all frames of arena.
+//
+// The arena size does not have to be a power of two: the allocator seeds
+// its free lists with the largest aligned power-of-two blocks that fit,
+// exactly as physical memory banks are carved into MAX_ORDER blocks.
+func New(arena *memarena.Arena) *Allocator {
+	a := &Allocator{
+		arena:      arena,
+		blockOrd:   make(map[int]int),
+		pressureAt: arena.Pages(), // pressure disabled until configured
+	}
+	for o := range a.free {
+		a.free[o] = make(map[int]struct{})
+	}
+	// Seed free lists greedily with maximal aligned blocks.
+	page := 0
+	remaining := arena.Pages()
+	for remaining > 0 {
+		o := MaxOrder
+		for o > 0 && ((1<<o) > remaining || page%(1<<o) != 0) {
+			o--
+		}
+		a.free[o][page] = struct{}{}
+		page += 1 << o
+		remaining -= 1 << o
+	}
+	a.freePages = arena.Pages()
+	return a
+}
+
+// Arena returns the underlying arena.
+func (a *Allocator) Arena() *memarena.Arena { return a.arena }
+
+// FreePages returns the number of pages currently free.
+func (a *Allocator) FreePages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freePages
+}
+
+// Stats returns a snapshot of the allocator's counters.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// SetPressureWatermark configures the used-page count at or above which
+// the allocator reports memory pressure. Subscribers are notified on
+// every transition. Setting the watermark to arena.Pages() (the default)
+// effectively disables pressure reporting.
+func (a *Allocator) SetPressureWatermark(usedPages int) {
+	a.mu.Lock()
+	a.pressureAt = usedPages
+	a.mu.Unlock()
+	a.checkPressure()
+}
+
+// OnPressure registers fn to be called with true when the system enters
+// memory pressure and false when it leaves. fn runs synchronously under
+// allocation/free paths and must be fast.
+func (a *Allocator) OnPressure(fn func(under bool)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pressureSub = append(a.pressureSub, fn)
+}
+
+// UnderPressure reports whether used pages are at or above the
+// watermark.
+func (a *Allocator) UnderPressure() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.underPress
+}
+
+// Alloc allocates a run of 2^order contiguous pages.
+func (a *Allocator) Alloc(order int) (Run, error) {
+	if order < 0 || order > MaxOrder {
+		return Run{}, fmt.Errorf("pagealloc: order %d out of range [0,%d]", order, MaxOrder)
+	}
+	a.mu.Lock()
+	// Find the smallest order >= requested with a free block.
+	o := order
+	for o <= MaxOrder && len(a.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		a.stats.Failures++
+		a.mu.Unlock()
+		return Run{}, ErrOutOfMemory
+	}
+	var start int
+	for s := range a.free[o] {
+		start = s
+		break
+	}
+	delete(a.free[o], start)
+	// Split down to the requested order, returning upper halves.
+	for o > order {
+		o--
+		a.stats.Splits++
+		buddy := start + (1 << o)
+		a.free[o][buddy] = struct{}{}
+	}
+	a.blockOrd[start] = order
+	a.freePages -= 1 << order
+	a.stats.Allocs++
+	a.mu.Unlock()
+
+	a.arena.Acquire(1 << order)
+	a.checkPressure()
+	return Run{Start: start, Order: order}, nil
+}
+
+// Free returns a run obtained from Alloc. Double frees and frees of
+// never-allocated runs panic: they are bugs in the slab layer, which is
+// the only client.
+func (a *Allocator) Free(r Run) {
+	a.mu.Lock()
+	order, ok := a.blockOrd[r.Start]
+	if !ok {
+		a.mu.Unlock()
+		panic(fmt.Sprintf("pagealloc: free of non-allocated run starting at %d", r.Start))
+	}
+	if order != r.Order {
+		a.mu.Unlock()
+		panic(fmt.Sprintf("pagealloc: free of run at %d with order %d, allocated as order %d", r.Start, r.Order, order))
+	}
+	delete(a.blockOrd, r.Start)
+	// Coalesce with free buddies as far as possible.
+	start, o := r.Start, r.Order
+	for o < MaxOrder {
+		buddy := start ^ (1 << o)
+		if _, free := a.free[o][buddy]; !free {
+			break
+		}
+		delete(a.free[o], buddy)
+		a.stats.Coalesces++
+		if buddy < start {
+			start = buddy
+		}
+		o++
+	}
+	a.free[o][start] = struct{}{}
+	a.freePages += 1 << r.Order
+	a.stats.Frees++
+	a.mu.Unlock()
+
+	a.arena.Release(1 << r.Order)
+	a.checkPressure()
+}
+
+// Bytes returns the backing memory of the run.
+func (a *Allocator) Bytes(r Run) []byte {
+	return a.arena.Range(r.Start, r.Pages())
+}
+
+func (a *Allocator) checkPressure() {
+	used := a.arena.UsedPages()
+	a.mu.Lock()
+	under := used >= a.pressureAt
+	changed := under != a.underPress
+	a.underPress = under
+	subs := a.pressureSub
+	a.mu.Unlock()
+	if !changed {
+		return
+	}
+	for _, fn := range subs {
+		fn(under)
+	}
+}
+
+// FreeBlockCounts returns, for each order, how many free blocks exist.
+// It is used by tests and by the fragmentation report.
+func (a *Allocator) FreeBlockCounts() [MaxOrder + 1]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out [MaxOrder + 1]int
+	for o := range a.free {
+		out[o] = len(a.free[o])
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package rcuhash_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/rcuhash"
+)
+
+// Model-based property test: random Put/Get/Delete/Resize sequences
+// against a map model must agree on contents and size, across resizes.
+func TestPropertyMatchesMapModel(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			m := rcuhash.New(c, s.RCU, 8)
+			model := map[uint64]byte{}
+			for op := 0; op < 250; op++ {
+				k := uint64(rng.Intn(64))
+				switch rng.Intn(5) {
+				case 0, 1: // put
+					v := byte(rng.Intn(256))
+					if err := m.Put(0, k, []byte{v}); err != nil {
+						return false
+					}
+					model[k] = v
+				case 2: // delete
+					ok, err := m.Delete(0, k)
+					if err != nil {
+						return false
+					}
+					if _, want := model[k]; ok != want {
+						return false
+					}
+					delete(model, k)
+				case 3: // get
+					buf := make([]byte, 1)
+					_, ok := m.Get(0, k, buf)
+					v, want := model[k]
+					if ok != want || (ok && buf[0] != v) {
+						return false
+					}
+				case 4: // occasional resize up or down
+					if op%17 == 0 {
+						buckets := 4 << rng.Intn(4) // 4..32
+						if err := m.Resize(0, buckets); err != nil {
+							return false
+						}
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+			seen := map[uint64]byte{}
+			m.ForEach(0, func(k uint64, v []byte) bool {
+				seen[k] = v[0]
+				return true
+			})
+			if len(seen) != len(model) {
+				return false
+			}
+			for k, v := range model {
+				if seen[k] != v {
+					return false
+				}
+			}
+			for k := range model {
+				if ok, err := m.Delete(0, k); err != nil || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+			t.Fatal(err)
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked across property iterations", used)
+		}
+	})
+}

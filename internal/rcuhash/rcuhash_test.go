@@ -1,0 +1,254 @@
+package rcuhash_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/rcuhash"
+	"prudence/internal/slub"
+	"prudence/internal/vcpu"
+)
+
+func eachAllocator(t *testing.T, fn func(t *testing.T, s *alloctest.Stack, c alloc.Cache)) {
+	builders := map[string]alloctest.BuildAllocator{
+		"slub": func(s *alloctest.Stack) alloc.Allocator {
+			return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+		},
+		"prudence": func(s *alloctest.Stack) alloc.Allocator {
+			return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+			c := s.Alloc.NewCache(alloctest.TestCacheConfig("hash-" + name))
+			fn(t, s, c)
+		})
+	}
+}
+
+func TestBadBucketCountPanics(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		for _, n := range []int{0, -4, 3, 12} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("New with %d buckets did not panic", n)
+					}
+				}()
+				rcuhash.New(c, s.RCU, n)
+			}()
+		}
+	})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		m := rcuhash.New(c, s.RCU, 8)
+		buf := make([]byte, 32)
+		for k := uint64(0); k < 100; k++ {
+			if err := m.Put(0, k, []byte(fmt.Sprintf("v-%d", k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", m.Len())
+		}
+		for k := uint64(0); k < 100; k++ {
+			n, ok := m.Get(0, k, buf)
+			want := fmt.Sprintf("v-%d", k)
+			if !ok || string(buf[:len(want)]) != want {
+				t.Fatalf("Get(%d) = %q,%v", k, buf[:n], ok)
+			}
+		}
+		// Overwrite is a copy-update with a deferred free.
+		before := c.Counters().Snapshot()
+		if err := m.Put(0, 5, []byte("newval")); err != nil {
+			t.Fatal(err)
+		}
+		if d := c.Counters().Snapshot().Sub(before); d.DeferredFrees != 1 {
+			t.Fatalf("overwrite produced %d deferred frees, want 1", d.DeferredFrees)
+		}
+		if m.Len() != 100 {
+			t.Fatalf("Len after overwrite = %d", m.Len())
+		}
+		if _, ok := m.Get(0, 5, buf); !ok || string(buf[:6]) != "newval" {
+			t.Fatalf("overwritten value = %q", buf[:6])
+		}
+		ok, err := m.Delete(0, 5)
+		if err != nil || !ok {
+			t.Fatalf("Delete = %v,%v", ok, err)
+		}
+		if _, ok := m.Get(0, 5, buf); ok {
+			t.Fatal("deleted key still present")
+		}
+		if ok, _ := m.Delete(0, 5); ok {
+			t.Fatal("double delete succeeded")
+		}
+	})
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		m := rcuhash.New(c, s.RCU, 4)
+		want := map[uint64]bool{}
+		for k := uint64(0); k < 50; k++ {
+			if err := m.Put(0, k, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = true
+		}
+		seen := map[uint64]bool{}
+		m.ForEach(0, func(k uint64, _ []byte) bool {
+			if seen[k] {
+				t.Errorf("key %d visited twice", k)
+			}
+			seen[k] = true
+			return true
+		})
+		if len(seen) != len(want) {
+			t.Fatalf("visited %d keys, want %d", len(seen), len(want))
+		}
+		count := 0
+		m.ForEach(0, func(uint64, []byte) bool {
+			count++
+			return count < 7
+		})
+		if count != 7 {
+			t.Fatalf("early stop visited %d", count)
+		}
+	})
+}
+
+func TestResizePreservesContents(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		m := rcuhash.New(c, s.RCU, 4)
+		const n = 200
+		for k := uint64(0); k < n; k++ {
+			v := make([]byte, 8)
+			binary.LittleEndian.PutUint64(v, k*3)
+			if err := m.Put(0, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := c.Counters().Snapshot()
+		if err := m.Resize(0, 64); err != nil {
+			t.Fatal(err)
+		}
+		if m.Buckets() != 64 {
+			t.Fatalf("Buckets = %d, want 64", m.Buckets())
+		}
+		if m.Len() != n {
+			t.Fatalf("Len after resize = %d, want %d", m.Len(), n)
+		}
+		buf := make([]byte, 8)
+		for k := uint64(0); k < n; k++ {
+			if _, ok := m.Get(0, k, buf); !ok || binary.LittleEndian.Uint64(buf) != k*3 {
+				t.Fatalf("key %d lost or corrupted after resize", k)
+			}
+		}
+		// The resize defer-freed every old payload: a burst of n.
+		if d := c.Counters().Snapshot().Sub(before); d.DeferredFrees != n {
+			t.Fatalf("resize produced %d deferred frees, want %d", d.DeferredFrees, n)
+		}
+		// Shrink back down too.
+		if err := m.Resize(0, 8); err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != n {
+			t.Fatalf("Len after shrink = %d", m.Len())
+		}
+		for k := uint64(0); k < n; k++ {
+			if ok, err := m.Delete(0, k); err != nil || !ok {
+				t.Fatalf("delete %d after shrink = %v, %v", k, ok, err)
+			}
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked after resize cycle", used)
+		}
+	})
+}
+
+// Concurrent readers across a resize never observe a missing key: the
+// table swap publishes a complete view.
+func TestReadersAcrossResize(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		m := rcuhash.New(c, s.RCU, 4)
+		const n = 64
+		for k := uint64(0); k < n; k++ {
+			if err := m.Put(0, k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var missing atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for cpu := 1; cpu < s.Machine.NumCPU(); cpu++ {
+			wg.Add(1)
+			go func(cpu int) {
+				defer wg.Done()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				buf := make([]byte, 4)
+				for !stop.Load() {
+					for k := uint64(0); k < n; k++ {
+						if _, ok := m.Get(cpu, k, buf); !ok {
+							missing.Add(1)
+						}
+					}
+					s.RCU.QuiescentState(cpu)
+				}
+			}(cpu)
+		}
+		s.RCU.ExitIdle(0)
+		for i := 0; i < 6; i++ {
+			buckets := 8 << (i % 3)
+			if err := m.Resize(0, buckets); err != nil {
+				t.Fatal(err)
+			}
+			s.RCU.QuiescentState(0)
+		}
+		s.RCU.EnterIdle(0)
+		stop.Store(true)
+		wg.Wait()
+		if got := missing.Load(); got != 0 {
+			t.Fatalf("readers missed keys %d times across resizes", got)
+		}
+	})
+}
+
+func TestConcurrentWritersDistinctKeyRanges(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		m := rcuhash.New(c, s.RCU, 16)
+		s.Machine.RunOnAll(func(cpu *vcpu.CPU) {
+			id := cpu.ID()
+			s.RCU.ExitIdle(id)
+			defer s.RCU.EnterIdle(id)
+			base := uint64(id) << 32
+			for i := uint64(0); i < 200; i++ {
+				if err := m.Put(id, base+i, []byte("a")); err != nil {
+					t.Errorf("cpu %d put: %v", id, err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := m.Delete(id, base+i); err != nil {
+						t.Errorf("cpu %d delete: %v", id, err)
+						return
+					}
+				}
+				s.RCU.QuiescentState(id)
+			}
+		})
+		want := s.Machine.NumCPU() * (200 - 67)
+		if got := m.Len(); got != want {
+			t.Fatalf("Len = %d, want %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package rculist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/rculist"
+)
+
+// Model-based property test: a random op sequence against the list and
+// a map model must agree on membership, values and size. Duplicate keys
+// are avoided (the list allows them; the model does not).
+func TestPropertyMatchesMapModel(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			l := rculist.New(c, s.RCU)
+			model := map[uint64]byte{}
+			for op := 0; op < 250; op++ {
+				k := uint64(rng.Intn(48))
+				switch rng.Intn(4) {
+				case 0: // insert (only if absent, to keep keys unique)
+					if _, ok := model[k]; !ok {
+						v := byte(rng.Intn(256))
+						if err := l.Insert(0, k, []byte{v}); err != nil {
+							return false
+						}
+						model[k] = v
+					}
+				case 1: // update
+					v := byte(rng.Intn(256))
+					ok, err := l.Update(0, k, []byte{v})
+					if err != nil {
+						return false
+					}
+					if _, want := model[k]; ok != want {
+						return false
+					}
+					if ok {
+						model[k] = v
+					}
+				case 2: // delete
+					ok, err := l.Delete(0, k)
+					if err != nil {
+						return false
+					}
+					if _, want := model[k]; ok != want {
+						return false
+					}
+					delete(model, k)
+				case 3: // lookup
+					buf := make([]byte, 1)
+					_, ok := l.Lookup(0, k, buf)
+					v, want := model[k]
+					if ok != want || (ok && buf[0] != v) {
+						return false
+					}
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+			// Walk sees exactly the model's entries.
+			seen := map[uint64]byte{}
+			l.Walk(0, func(k uint64, v []byte) bool {
+				seen[k] = v[0]
+				return true
+			})
+			if len(seen) != len(model) {
+				return false
+			}
+			for k, v := range model {
+				if seen[k] != v {
+					return false
+				}
+			}
+			for k := range model {
+				if ok, err := l.Delete(0, k); err != nil || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Fatal(err)
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked across property iterations", used)
+		}
+	})
+}

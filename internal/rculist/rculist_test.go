@@ -1,0 +1,297 @@
+package rculist_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/rculist"
+	"prudence/internal/slub"
+	"prudence/internal/vcpu"
+)
+
+// Both allocators must support the list identically.
+func eachAllocator(t *testing.T, fn func(t *testing.T, s *alloctest.Stack, c alloc.Cache)) {
+	builders := map[string]alloctest.BuildAllocator{
+		"slub": func(s *alloctest.Stack) alloc.Allocator {
+			return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+		},
+		"prudence": func(s *alloctest.Stack) alloc.Allocator {
+			return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+			c := s.Alloc.NewCache(alloctest.TestCacheConfig("list-" + name))
+			fn(t, s, c)
+		})
+	}
+}
+
+func val(s string) []byte { return []byte(s) }
+
+func TestInsertLookup(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		if l.ValueSize() != 256 {
+			t.Fatalf("ValueSize = %d", l.ValueSize())
+		}
+		for i := uint64(0); i < 20; i++ {
+			if err := l.Insert(0, i, val(fmt.Sprintf("value-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if l.Len() != 20 {
+			t.Fatalf("Len = %d, want 20", l.Len())
+		}
+		buf := make([]byte, 32)
+		for i := uint64(0); i < 20; i++ {
+			n, ok := l.Lookup(0, i, buf)
+			if !ok {
+				t.Fatalf("key %d not found", i)
+			}
+			want := fmt.Sprintf("value-%d", i)
+			if string(buf[:len(want)]) != want {
+				t.Fatalf("key %d value %q, want %q", i, buf[:n], want)
+			}
+		}
+		if _, ok := l.Lookup(0, 999, buf); ok {
+			t.Fatal("found missing key")
+		}
+	})
+}
+
+func TestUpdateReplacesValueAndDefersOld(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		if err := l.Insert(0, 1, val("old")); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := l.Update(0, 1, val("new"))
+		if err != nil || !ok {
+			t.Fatalf("Update = %v, %v", ok, err)
+		}
+		buf := make([]byte, 8)
+		if _, found := l.Lookup(0, 1, buf); !found || string(buf[:3]) != "new" {
+			t.Fatalf("after update value = %q", buf)
+		}
+		ctr := c.Counters().Snapshot()
+		if ctr.DeferredFrees != 1 {
+			t.Fatalf("DeferredFrees = %d, want 1", ctr.DeferredFrees)
+		}
+		if ok, _ := l.Update(0, 42, val("x")); ok {
+			t.Fatal("update of missing key reported success")
+		}
+		// The failed update must not leak its speculative allocation.
+		ctr = c.Counters().Snapshot()
+		if ctr.Allocs != ctr.Frees+ctr.DeferredFrees+uint64(l.Len()) {
+			t.Fatalf("allocation leak: %+v with %d live", ctr, l.Len())
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		for i := uint64(0); i < 10; i++ {
+			if err := l.Insert(0, i, val("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ok, err := l.Delete(0, 5)
+		if err != nil || !ok {
+			t.Fatalf("Delete = %v, %v", ok, err)
+		}
+		if _, found := l.Lookup(0, 5, make([]byte, 4)); found {
+			t.Fatal("deleted key still found")
+		}
+		if l.Len() != 9 {
+			t.Fatalf("Len = %d, want 9", l.Len())
+		}
+		if ok, _ := l.Delete(0, 5); ok {
+			t.Fatal("double delete reported success")
+		}
+	})
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		for i := uint64(0); i < 5; i++ {
+			if err := l.Insert(0, i, val("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var keys []uint64
+		l.Walk(0, func(k uint64, _ []byte) bool {
+			keys = append(keys, k)
+			return true
+		})
+		// Head insertion: reverse order.
+		for i, k := range keys {
+			if k != uint64(4-i) {
+				t.Fatalf("walk order %v", keys)
+			}
+		}
+		count := 0
+		l.Walk(0, func(uint64, []byte) bool {
+			count++
+			return count < 2
+		})
+		if count != 2 {
+			t.Fatalf("early stop visited %d", count)
+		}
+	})
+}
+
+// The core RCU property end-to-end: readers concurrently traversing the
+// list never observe torn or reclaimed payloads while writers
+// continuously update. Payload carries a seqnum and its complement; a
+// torn read or reuse-while-reading breaks the invariant.
+func TestReadersNeverSeeTornValues(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		mkval := func(seq uint64) []byte {
+			b := make([]byte, 16)
+			binary.LittleEndian.PutUint64(b, seq)
+			binary.LittleEndian.PutUint64(b[8:], ^seq)
+			return b
+		}
+		const keys = 8
+		for i := uint64(0); i < keys; i++ {
+			if err := l.Insert(0, i, mkval(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var torn atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		// Readers on CPUs 1..3.
+		for cpu := 1; cpu < s.Machine.NumCPU(); cpu++ {
+			wg.Add(1)
+			go func(cpu int) {
+				defer wg.Done()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				for !stop.Load() {
+					l.Walk(cpu, func(_ uint64, v []byte) bool {
+						a := binary.LittleEndian.Uint64(v)
+						b := binary.LittleEndian.Uint64(v[8:])
+						if b != ^a {
+							torn.Add(1)
+						}
+						return true
+					})
+					s.RCU.QuiescentState(cpu)
+				}
+			}(cpu)
+		}
+		// Writer on CPU 0.
+		s.RCU.ExitIdle(0)
+		for seq := uint64(1); seq <= 2000; seq++ {
+			if _, err := l.Update(0, seq%keys, mkval(seq)); err != nil {
+				t.Fatal(err)
+			}
+			s.RCU.QuiescentState(0)
+		}
+		s.RCU.EnterIdle(0)
+		stop.Store(true)
+		wg.Wait()
+		if n := torn.Load(); n != 0 {
+			t.Fatalf("readers observed %d torn/reclaimed payloads", n)
+		}
+	})
+}
+
+// Sustained concurrent updates from all CPUs against one list per CPU —
+// the §3.5 endurance workload shape in miniature.
+func TestPerCPUListsUpdateStorm(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		lists := make([]*rculist.List, s.Machine.NumCPU())
+		for i := range lists {
+			lists[i] = rculist.New(c, s.RCU)
+		}
+		s.Machine.RunOnAll(func(cpu *vcpu.CPU) {
+			id := cpu.ID()
+			s.RCU.ExitIdle(id)
+			defer s.RCU.EnterIdle(id)
+			l := lists[id]
+			for i := uint64(0); i < 16; i++ {
+				if err := l.Insert(id, i, val("init")); err != nil {
+					t.Errorf("cpu %d insert: %v", id, err)
+					return
+				}
+			}
+			for i := 0; i < 500; i++ {
+				if _, err := l.Update(id, uint64(i%16), val(fmt.Sprintf("u%d", i))); err != nil {
+					t.Errorf("cpu %d update %d: %v", id, i, err)
+					return
+				}
+				s.RCU.QuiescentState(id)
+			}
+		})
+		ctr := c.Counters().Snapshot()
+		wantDefers := uint64(500 * s.Machine.NumCPU())
+		if ctr.DeferredFrees != wantDefers {
+			t.Fatalf("DeferredFrees = %d, want %d", ctr.DeferredFrees, wantDefers)
+		}
+		for _, l := range lists {
+			for i := uint64(0); i < 16; i++ {
+				if ok, err := l.Delete(0, i); err != nil || !ok {
+					t.Fatalf("teardown delete: %v, %v", ok, err)
+				}
+			}
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked", used)
+		}
+	})
+}
+
+// A reader holding the list open sees the old value even after an
+// update+grace-period on another CPU (staleness is acceptable; reuse is
+// not).
+func TestPreExistingReaderSeesOldConsistentValue(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		l := rculist.New(c, s.RCU)
+		if err := l.Insert(0, 7, val("original")); err != nil {
+			t.Fatal(err)
+		}
+		// Reader enters a critical section on CPU 1 and captures the
+		// payload pointer by walking to it.
+		s.RCU.ExitIdle(1)
+		s.RCU.ReadLock(1)
+		var seen []byte
+		l.Walk(1, func(k uint64, v []byte) bool {
+			if k == 7 {
+				seen = v // retained inside the outer ReadLock
+			}
+			return true
+		})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := l.Update(0, 7, val("replaced")); err != nil {
+				t.Errorf("update: %v", err)
+			}
+		}()
+		<-done
+		// Old payload must still read "original" while the reader is
+		// inside its critical section.
+		time.Sleep(2 * time.Millisecond)
+		if string(seen[:8]) != "original" {
+			t.Fatalf("pre-existing reader saw %q", seen[:8])
+		}
+		s.RCU.ReadUnlock(1)
+		s.RCU.QuiescentState(1)
+		s.RCU.EnterIdle(1)
+	})
+}

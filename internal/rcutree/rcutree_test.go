@@ -1,0 +1,317 @@
+package rcutree_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/rcutree"
+	"prudence/internal/slub"
+)
+
+func eachAllocator(t *testing.T, fn func(t *testing.T, s *alloctest.Stack, c alloc.Cache)) {
+	builders := map[string]alloctest.BuildAllocator{
+		"slub": func(s *alloctest.Stack) alloc.Allocator {
+			return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+		},
+		"prudence": func(s *alloctest.Stack) alloc.Allocator {
+			return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 4096
+			s := alloctest.NewStack(t, cfg, build)
+			c := s.Alloc.NewCache(alloctest.TestCacheConfig("tree-" + name))
+			fn(t, s, c)
+		})
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		tr := rcutree.New(c, s.RCU)
+		if tr.ValueSize() != 256 {
+			t.Fatalf("ValueSize = %d", tr.ValueSize())
+		}
+		const n = 200
+		for i := uint64(0); i < n; i++ {
+			if err := tr.Put(0, i*7%n, []byte(fmt.Sprintf("v%d", i*7%n))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		buf := make([]byte, 16)
+		for k := uint64(0); k < n; k++ {
+			got, ok := tr.Get(0, k, buf)
+			want := fmt.Sprintf("v%d", k)
+			if !ok || string(buf[:len(want)]) != want {
+				t.Fatalf("Get(%d) = %q,%v (%d bytes)", k, buf[:len(want)], ok, got)
+			}
+		}
+		if _, ok := tr.Get(0, 9999, buf); ok {
+			t.Fatal("found missing key")
+		}
+		// Overwrite.
+		if err := tr.Put(0, 5, []byte("newval")); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len after overwrite = %d", tr.Len())
+		}
+		if _, ok := tr.Get(0, 5, buf); !ok || string(buf[:6]) != "newval" {
+			t.Fatalf("overwrite lost: %q", buf[:6])
+		}
+		// Delete everything.
+		for k := uint64(0); k < n; k++ {
+			ok, err := tr.Delete(0, k)
+			if err != nil || !ok {
+				t.Fatalf("Delete(%d) = %v,%v", k, ok, err)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("Len after deletes = %d", tr.Len())
+		}
+		if ok, _ := tr.Delete(0, 3); ok {
+			t.Fatal("delete on empty tree succeeded")
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked", used)
+		}
+	})
+}
+
+func TestMinMaxRange(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		tr := rcutree.New(c, s.RCU)
+		if _, ok := tr.Min(0); ok {
+			t.Fatal("Min on empty tree")
+		}
+		if _, ok := tr.Max(0); ok {
+			t.Fatal("Max on empty tree")
+		}
+		keys := []uint64{50, 10, 90, 30, 70, 20, 80}
+		for _, k := range keys {
+			if err := tr.Put(0, k, []byte{byte(k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if mn, _ := tr.Min(0); mn != 10 {
+			t.Fatalf("Min = %d", mn)
+		}
+		if mx, _ := tr.Max(0); mx != 90 {
+			t.Fatalf("Max = %d", mx)
+		}
+		var got []uint64
+		tr.Range(0, 20, 80, func(k uint64, v []byte) bool {
+			if v[0] != byte(k) {
+				t.Errorf("key %d carries value %d", k, v[0])
+			}
+			got = append(got, k)
+			return true
+		})
+		want := []uint64{20, 30, 50, 70, 80}
+		if len(got) != len(want) {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Range order = %v, want %v", got, want)
+			}
+		}
+		count := 0
+		tr.Range(0, 0, 100, func(uint64, []byte) bool { count++; return count < 3 })
+		if count != 3 {
+			t.Fatalf("early stop visited %d", count)
+		}
+		for _, k := range keys {
+			if ok, err := tr.Delete(0, k); err != nil || !ok {
+				t.Fatal("teardown delete failed")
+			}
+		}
+		c.Drain()
+	})
+}
+
+// Rebalancing produces multiple deferred objects per update (§3.1): a
+// single Put or Delete into a populated tree defer-frees more than one
+// payload.
+func TestUpdatesDeferMultipleObjects(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		tr := rcutree.New(c, s.RCU)
+		for k := uint64(0); k < 128; k++ {
+			if err := tr.Put(0, k, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := c.Counters().Snapshot()
+		if err := tr.Put(0, 1000, []byte{2}); err != nil {
+			t.Fatal(err)
+		}
+		d := c.Counters().Snapshot().Sub(before)
+		if d.DeferredFrees < 2 {
+			t.Fatalf("insert into a deep tree deferred only %d objects; path copying should defer several", d.DeferredFrees)
+		}
+		before = c.Counters().Snapshot()
+		if ok, err := tr.Delete(0, 64); err != nil || !ok {
+			t.Fatal(err)
+		}
+		d = c.Counters().Snapshot().Sub(before)
+		if d.DeferredFrees < 2 {
+			t.Fatalf("delete from a deep tree deferred only %d objects", d.DeferredFrees)
+		}
+	})
+}
+
+// Model-based property test: a random op sequence against the tree and
+// a map+sort model must agree on contents, order and size.
+func TestPropertyMatchesModel(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			tr := rcutree.New(c, s.RCU)
+			model := map[uint64]byte{}
+			for op := 0; op < 300; op++ {
+				k := uint64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := byte(rng.Intn(256))
+					if err := tr.Put(0, k, []byte{v}); err != nil {
+						return false
+					}
+					model[k] = v
+				case 2:
+					ok, err := tr.Delete(0, k)
+					if err != nil {
+						return false
+					}
+					if _, want := model[k]; ok != want {
+						return false
+					}
+					delete(model, k)
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+			buf := make([]byte, 1)
+			for k, v := range model {
+				if _, ok := tr.Get(0, k, buf); !ok || buf[0] != v {
+					return false
+				}
+			}
+			// Full-range walk yields the model's keys in sorted order.
+			var walked []uint64
+			tr.Range(0, 0, ^uint64(0), func(k uint64, _ []byte) bool {
+				walked = append(walked, k)
+				return true
+			})
+			want := make([]uint64, 0, len(model))
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(walked) != len(want) {
+				return false
+			}
+			for i := range want {
+				if walked[i] != want[i] {
+					return false
+				}
+			}
+			// Teardown so the next iteration starts clean.
+			for k := range model {
+				if ok, err := tr.Delete(0, k); err != nil || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatal(err)
+		}
+		c.Drain()
+		if used := s.Arena.UsedPages(); used != 0 {
+			t.Fatalf("%d pages leaked across property iterations", used)
+		}
+	})
+}
+
+// Readers walking the tree concurrently with a writer never observe a
+// missing committed key or a torn value.
+func TestReadersDuringWrites(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, s *alloctest.Stack, c alloc.Cache) {
+		tr := rcutree.New(c, s.RCU)
+		const stable = 64 // keys 0..63 are never deleted
+		mkval := func(seq uint64) []byte {
+			b := make([]byte, 16)
+			binary.LittleEndian.PutUint64(b, seq)
+			binary.LittleEndian.PutUint64(b[8:], ^seq)
+			return b
+		}
+		for k := uint64(0); k < stable; k++ {
+			if err := tr.Put(0, k, mkval(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var bad atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for cpu := 1; cpu < s.Machine.NumCPU(); cpu++ {
+			wg.Add(1)
+			go func(cpu int) {
+				defer wg.Done()
+				s.RCU.ExitIdle(cpu)
+				defer s.RCU.EnterIdle(cpu)
+				buf := make([]byte, 16)
+				for !stop.Load() {
+					for k := uint64(0); k < stable; k++ {
+						if _, ok := tr.Get(cpu, k, buf); !ok {
+							bad.Add(1)
+							continue
+						}
+						a := binary.LittleEndian.Uint64(buf)
+						b := binary.LittleEndian.Uint64(buf[8:])
+						if b != ^a {
+							bad.Add(1)
+						}
+					}
+					s.RCU.QuiescentState(cpu)
+				}
+			}(cpu)
+		}
+		s.RCU.ExitIdle(0)
+		for seq := uint64(1); seq <= 1500; seq++ {
+			// Update a stable key and churn a volatile one.
+			if err := tr.Put(0, seq%stable, mkval(seq)); err != nil {
+				t.Fatal(err)
+			}
+			vk := stable + seq%32
+			if err := tr.Put(0, vk, mkval(seq)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Delete(0, vk); err != nil {
+				t.Fatal(err)
+			}
+			s.RCU.QuiescentState(0)
+		}
+		s.RCU.EnterIdle(0)
+		stop.Store(true)
+		wg.Wait()
+		if n := bad.Load(); n != 0 {
+			t.Fatalf("readers observed %d missing/torn entries", n)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package slabcore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAudit wraps all invariant violations found by Audit.
+var ErrAudit = errors.New("slabcore: audit failed")
+
+// Audit walks every node list of the cache and checks the structural
+// invariants the allocators rely on:
+//
+//   - every slab's recorded list membership matches the list it is
+//     actually linked on;
+//   - per-slab accounting holds: free + latent + inUse == capacity, and
+//     no object index appears in two places;
+//   - no latent entry's cookie is below the slab's latentMin;
+//   - the cache-level slab counter matches the number of linked slabs;
+//   - HomeList placement: no conventionally-free slab hides on the full
+//     list (Prudence may predictively place slabs, so partial/free
+//     placements are allowed to disagree with HomeList, but a slab with
+//     zero free objects must never sit on the free list unless
+//     everything left in it is latent).
+//
+// Audit takes each node's lock; do not call it while holding one.
+// Integration tests run it after workloads to catch accounting drift.
+func (b *Base) Audit() error {
+	var errs []error
+	slabs := 0
+	for _, n := range b.NodesArr {
+		n.Lock()
+		for _, l := range []struct {
+			id    ListID
+			first *Slab
+		}{
+			{ListFull, n.full.front()},
+			{ListPartial, n.partial.front()},
+			{ListFree, n.freeL.front()},
+		} {
+			for s := l.first; s != nil; s = s.next {
+				slabs++
+				if s.list != l.id {
+					errs = append(errs, fmt.Errorf("slab on %v list records membership %v", l.id, s.list))
+				}
+				if s.node != n {
+					errs = append(errs, fmt.Errorf("slab on node %d records node %d", n.id, s.node.id))
+				}
+				if got := len(s.free) + len(s.latent) + s.inUse; got != s.cap {
+					errs = append(errs, fmt.Errorf("slab accounting: free=%d latent=%d inUse=%d != cap=%d",
+						len(s.free), len(s.latent), s.inUse, s.cap))
+				}
+				seen := make(map[uint32]bool, s.cap)
+				for _, idx := range s.free {
+					if int(idx) >= s.cap {
+						errs = append(errs, fmt.Errorf("free index %d out of range [0,%d)", idx, s.cap))
+					}
+					if seen[idx] {
+						errs = append(errs, fmt.Errorf("object %d on freelist twice", idx))
+					}
+					seen[idx] = true
+				}
+				for _, e := range s.latent {
+					if int(e.idx) >= s.cap {
+						errs = append(errs, fmt.Errorf("latent index %d out of range [0,%d)", e.idx, s.cap))
+					}
+					if seen[e.idx] {
+						errs = append(errs, fmt.Errorf("object %d both free and latent", e.idx))
+					}
+					seen[e.idx] = true
+					if e.cookie < s.latentMin {
+						errs = append(errs, fmt.Errorf("latent cookie %d below latentMin %d", e.cookie, s.latentMin))
+					}
+				}
+				if l.id == ListFree && len(s.free) == 0 && len(s.latent) == 0 && s.cap > 0 {
+					errs = append(errs, fmt.Errorf("fully in-use slab on the free list"))
+				}
+				if l.id == ListFull && s.inUse == 0 && len(s.latent) == 0 && s.cap > 0 {
+					errs = append(errs, fmt.Errorf("fully free slab on the full list"))
+				}
+			}
+		}
+		n.Unlock()
+	}
+	if got := b.Ctr.CurrentSlabs(); got != slabs {
+		errs = append(errs, fmt.Errorf("counter says %d slabs, lists hold %d", got, slabs))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrAudit, errors.Join(errs...))
+}

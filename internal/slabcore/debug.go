@@ -1,0 +1,267 @@
+package slabcore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"prudence/internal/memarena"
+)
+
+// RedZoneSize is the number of guard bytes placed on each side of every
+// object when CacheConfig.RedZone is enabled (the SLUB_DEBUG red-zone
+// analogue). Overflows and underflows by the object's user corrupt the
+// guard pattern and are reported at free time or by CheckRedZones.
+const RedZoneSize = 8
+
+// RedZoneByte is the guard fill pattern.
+const RedZoneByte = 0xBB
+
+// DebugConfig enables allocator debugging features, at the cost of
+// per-object space (red zones) and a little time (owner tracking).
+type DebugConfig struct {
+	// RedZone surrounds every object with guard bytes; corruption
+	// panics on free and fails CheckRedZones/audits.
+	RedZone bool
+	// TrackOwners records the CPU of the last allocation of every live
+	// object, enabling leak reports at drain time.
+	TrackOwners bool
+}
+
+// ownerTable records, per slab cache, which CPU allocated each live
+// object. It is sized lazily per slab.
+type ownerTable struct {
+	mu     sync.Mutex
+	owners map[*Slab][]int32 // -1 = not live
+}
+
+func newOwnerTable() *ownerTable {
+	return &ownerTable{owners: map[*Slab][]int32{}}
+}
+
+func (o *ownerTable) recordAlloc(r Ref, cpu int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t := o.owners[r.Slab]
+	if t == nil {
+		t = make([]int32, r.Slab.Capacity())
+		for i := range t {
+			t[i] = -1
+		}
+		o.owners[r.Slab] = t
+	}
+	t[r.Idx] = int32(cpu)
+}
+
+func (o *ownerTable) recordFree(r Ref) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t := o.owners[r.Slab]; t != nil {
+		t[r.Idx] = -1
+	}
+}
+
+func (o *ownerTable) forget(s *Slab) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.owners, s)
+}
+
+// live returns the number of live-tracked objects and a per-CPU tally.
+func (o *ownerTable) live() (int, map[int]int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	byCPU := map[int]int{}
+	for _, t := range o.owners {
+		for _, cpu := range t {
+			if cpu >= 0 {
+				total++
+				byCPU[int(cpu)]++
+			}
+		}
+	}
+	return total, byCPU
+}
+
+// Debugger carries a cache's debugging state. Obtain one with
+// Base.EnableDebug; all methods are safe for concurrent use.
+type Debugger struct {
+	base   *Base
+	cfg    DebugConfig
+	owners *ownerTable
+}
+
+// EnableDebug switches on debugging features for the cache. With
+// RedZone enabled the cache's object layout changes, so it must be
+// called before any slabs are created (NewBase callers do this right
+// after construction); it panics otherwise.
+func (b *Base) EnableDebug(cfg DebugConfig) *Debugger {
+	if cfg.RedZone {
+		if b.Ctr.CurrentSlabs() != 0 {
+			panic("slabcore: EnableDebug(RedZone) after slabs were created")
+		}
+		// Grow the stride so each object carries leading and trailing
+		// guards. ObjectSize stays the user-visible size; the layout
+		// stride is adjusted via redZonePad.
+		b.redZonePad = RedZoneSize
+		if b.Cfg.ObjectsPerSlabPadded(b.redZonePad) < 1 {
+			panic("slabcore: red zones leave no room for objects")
+		}
+	}
+	d := &Debugger{base: b, cfg: cfg}
+	if cfg.TrackOwners {
+		d.owners = newOwnerTable()
+	}
+	b.debugger = d
+	return d
+}
+
+// ObjectsPerSlabPadded returns how many objects fit in one slab when
+// each object carries pad guard bytes on both sides.
+func (c CacheConfig) ObjectsPerSlabPadded(pad int) int {
+	return (memarena.PageSize << c.SlabOrder) / (c.ObjectSize + 2*pad)
+}
+
+// OnAlloc hooks an allocation (called by the allocators when a debugger
+// is attached).
+func (d *Debugger) OnAlloc(r Ref, cpu int) {
+	if d.cfg.RedZone {
+		d.checkGuards(r, "alloc")
+	}
+	if d.owners != nil {
+		d.owners.recordAlloc(r, cpu)
+	}
+}
+
+// OnFree hooks a free (immediate or deferred).
+func (d *Debugger) OnFree(r Ref, cpu int) {
+	if d.cfg.RedZone {
+		d.checkGuards(r, "free")
+	}
+	if d.owners != nil {
+		d.owners.recordFree(r)
+	}
+}
+
+// checkGuards panics when an object's red zones were overwritten.
+func (d *Debugger) checkGuards(r Ref, when string) {
+	lead, trail := r.redZones()
+	for _, b := range lead {
+		if b != RedZoneByte {
+			panic(fmt.Sprintf("slabcore: cache %q object %d: leading red zone corrupted (detected at %s)",
+				d.base.Cfg.Name, r.Idx, when))
+		}
+	}
+	for _, b := range trail {
+		if b != RedZoneByte {
+			panic(fmt.Sprintf("slabcore: cache %q object %d: trailing red zone corrupted (detected at %s)",
+				d.base.Cfg.Name, r.Idx, when))
+		}
+	}
+}
+
+// CheckRedZones scans every slab's guard bytes and returns descriptions
+// of corrupted objects (empty when clean). Unlike the per-op checks it
+// covers objects that are currently free or latent too.
+func (d *Debugger) CheckRedZones() []string {
+	if !d.cfg.RedZone {
+		return nil
+	}
+	var bad []string
+	for _, n := range d.base.NodesArr {
+		n.Lock()
+		for _, first := range []*Slab{n.FirstFull(), n.FirstPartial(), n.FirstFree()} {
+			for s := first; s != nil; s = s.NextInList() {
+				for idx := 0; idx < s.Capacity(); idx++ {
+					r := Ref{Slab: s, Idx: uint32(idx)}
+					lead, trail := r.redZones()
+					for _, b := range lead {
+						if b != RedZoneByte {
+							bad = append(bad, fmt.Sprintf("object %d: leading guard", idx))
+							break
+						}
+					}
+					for _, b := range trail {
+						if b != RedZoneByte {
+							bad = append(bad, fmt.Sprintf("object %d: trailing guard", idx))
+							break
+						}
+					}
+				}
+			}
+		}
+		n.Unlock()
+	}
+	return bad
+}
+
+// LeakReport describes objects still live at reporting time.
+type LeakReport struct {
+	Live  int
+	ByCPU map[int]int
+}
+
+// String renders the report.
+func (l LeakReport) String() string {
+	if l.Live == 0 {
+		return "no live objects"
+	}
+	var parts []string
+	for cpu, n := range l.ByCPU {
+		parts = append(parts, fmt.Sprintf("cpu%d:%d", cpu, n))
+	}
+	return fmt.Sprintf("%d live objects (%s)", l.Live, strings.Join(parts, " "))
+}
+
+// Leaks reports objects allocated but never freed, attributed to the
+// allocating CPU. Call after the workload (and before Drain if you want
+// in-flight deferred objects excluded — deferred frees count as freed).
+func (d *Debugger) Leaks() LeakReport {
+	if d.owners == nil {
+		return LeakReport{}
+	}
+	live, byCPU := d.owners.live()
+	return LeakReport{Live: live, ByCPU: byCPU}
+}
+
+// forgetSlab drops owner state for a destroyed slab.
+func (d *Debugger) forgetSlab(s *Slab) {
+	if d.owners != nil {
+		d.owners.forget(s)
+	}
+}
+
+// RedZones returns the object's guard regions (empty slices when the
+// cache has no red zones). Exposed for debug tooling and for tests that
+// simulate wild writes; normal code never touches these bytes.
+func (r Ref) RedZones() (lead, trail []byte) {
+	return r.redZones()
+}
+
+// redZones returns the object's guard slices (empty when the cache has
+// no red zones).
+func (r Ref) redZones() (lead, trail []byte) {
+	s := r.Slab
+	if s.pad == 0 {
+		return nil, nil
+	}
+	stride := s.objSize + 2*s.pad
+	off := s.color + int(r.Idx)*stride
+	return s.base[off : off+s.pad], s.base[off+s.pad+s.objSize : off+stride]
+}
+
+// paintRedZones fills a fresh slab's guard bytes.
+func (s *Slab) paintRedZones() {
+	if s.pad == 0 {
+		return
+	}
+	stride := s.objSize + 2*s.pad
+	for idx := 0; idx < s.cap; idx++ {
+		off := s.color + idx*stride
+		for i := 0; i < s.pad; i++ {
+			s.base[off+i] = RedZoneByte
+			s.base[off+s.pad+s.objSize+i] = RedZoneByte
+		}
+	}
+}

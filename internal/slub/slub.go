@@ -1,0 +1,285 @@
+// Package slub implements the baseline allocator: a SLUB-model slab
+// allocator whose deferred frees go through the synchronization
+// mechanism, exactly as in the paper's Listing 1.
+//
+// The allocator itself never sees deferred objects: FreeDeferred
+// registers an RCU callback that performs an ordinary Free once the
+// callback processor gets around to it. Everything the paper's §3
+// attributes to this arrangement — bursty freeing when callbacks drain
+// after a grace period, extended object lifetimes from throttled
+// processing, the resulting object cache and slab churn, and the OOM
+// of Figure 3 — emerges from this code under load.
+package slub
+
+import (
+	"sync"
+
+	"prudence/internal/alloc"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/trace"
+)
+
+// Allocator is the SLUB-model allocator.
+type Allocator struct {
+	pages *pagealloc.Allocator
+	rcu   *rcu.RCU
+	cpus  int
+
+	mu     sync.Mutex
+	caches []alloc.Cache
+}
+
+var _ alloc.Allocator = (*Allocator)(nil)
+
+// New creates a SLUB allocator over the given page allocator. r is the
+// RCU engine used to defer frees; cpus is the machine's CPU count.
+func New(pages *pagealloc.Allocator, r *rcu.RCU, cpus int) *Allocator {
+	return &Allocator{pages: pages, rcu: r, cpus: cpus}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "slub" }
+
+// NewCache implements alloc.Allocator.
+func (a *Allocator) NewCache(cfg slabcore.CacheConfig) alloc.Cache {
+	cfg.CPUs = a.cpus
+	c := &Cache{
+		alloc: a,
+		base:  slabcore.NewBase(a.pages, cfg),
+	}
+	c.cpuCaches = make([]*slabcore.PerCPUCache, a.cpus)
+	for i := range c.cpuCaches {
+		c.cpuCaches[i] = slabcore.NewPerCPUCache(c.base.Cfg.CacheSize)
+	}
+	a.mu.Lock()
+	a.caches = append(a.caches, c)
+	a.mu.Unlock()
+	return c
+}
+
+// Caches implements alloc.Allocator.
+func (a *Allocator) Caches() []alloc.Cache {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]alloc.Cache, len(a.caches))
+	copy(out, a.caches)
+	return out
+}
+
+// Cache is one SLUB slab cache.
+type Cache struct {
+	alloc     *Allocator
+	base      *slabcore.Base
+	cpuCaches []*slabcore.PerCPUCache
+}
+
+var _ alloc.Cache = (*Cache)(nil)
+
+// Name implements alloc.Cache.
+func (c *Cache) Name() string { return c.base.Cfg.Name }
+
+// ObjectSize implements alloc.Cache.
+func (c *Cache) ObjectSize() int { return c.base.Cfg.ObjectSize }
+
+// Counters implements alloc.Cache.
+func (c *Cache) Counters() *stats.AllocCounters { return &c.base.Ctr }
+
+// Fragmentation implements alloc.Cache.
+func (c *Cache) Fragmentation() (float64, int64, int64) {
+	return c.base.Fragmentation()
+}
+
+// Malloc implements alloc.Cache. The fast path is a pop from the
+// current CPU's object cache; a miss refills the cache from the node
+// lists, growing the slab cache from the page allocator if needed.
+func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
+	cc := c.cpuCaches[cpu]
+	ctr := &c.base.Ctr
+	ctr.Allocs.Add(1)
+
+	for attempt := 0; ; attempt++ {
+		cc.Mu.Lock()
+		if r := cc.TryGet(); !r.IsZero() {
+			cc.Mu.Unlock()
+			ctr.CacheHits.Add(1)
+			c.base.UserAlloc()
+			if d := c.base.Debugger(); d != nil {
+				d.OnAlloc(r, cpu)
+			}
+			return r, nil
+		}
+
+		// Slow path: refill from the node lists.
+		c.refill(cpu, cc)
+		if r := cc.TryGet(); !r.IsZero() {
+			cc.Mu.Unlock()
+			c.base.UserAlloc()
+			if d := c.base.Debugger(); d != nil {
+				d.OnAlloc(r, cpu)
+			}
+			return r, nil
+		}
+
+		// Slower path: grow the slab cache by one slab and refill again.
+		node := c.base.NodeFor(cpu)
+		if _, err := c.base.NewSlab(node); err != nil {
+			cc.Mu.Unlock()
+			return slabcore.Ref{}, err
+		}
+		c.refill(cpu, cc)
+		r := cc.TryGet()
+		cc.Mu.Unlock()
+		if r.IsZero() {
+			// The fresh slab's objects were taken by other CPUs between
+			// our grow and refill; retry a bounded number of times.
+			if attempt < 10 {
+				continue
+			}
+			return slabcore.Ref{}, pagealloc.ErrOutOfMemory
+		}
+		c.base.UserAlloc()
+		if d := c.base.Debugger(); d != nil {
+			d.OnAlloc(r, cpu)
+		}
+		return r, nil
+	}
+}
+
+// refill moves objects from node-list slabs into the CPU cache until it
+// is full or the node has nothing allocatable. Caller holds cc.Mu.
+func (c *Cache) refill(cpu int, cc *slabcore.PerCPUCache) {
+	node := c.base.NodeFor(cpu)
+	want := cc.Size - cc.Len()
+	if want <= 0 {
+		return
+	}
+	moved := 0
+	node.Lock()
+	for want > 0 {
+		// SLUB picks the first slab on the partial list, then free
+		// slabs.
+		s := node.FirstPartial()
+		if s == nil {
+			s = node.FirstFree()
+		}
+		if s == nil {
+			break
+		}
+		for want > 0 && s.FreeCount() > 0 {
+			cc.Put(s.PopFree())
+			want--
+			moved++
+		}
+		node.Move(s, slabcore.HomeList(s))
+	}
+	node.Unlock()
+	if moved > 0 {
+		c.base.Ctr.Refills.Add(1)
+		c.base.Trace(trace.KindRefill, cpu, int64(moved), 0)
+	}
+}
+
+// Free implements alloc.Cache: push to the CPU cache, flushing half of
+// it to the node lists on overflow, and shrinking the slab cache when
+// free slabs exceed the threshold.
+func (c *Cache) Free(cpu int, r slabcore.Ref) {
+	if d := c.base.Debugger(); d != nil {
+		d.OnFree(r, cpu)
+	}
+	c.base.Ctr.Frees.Add(1)
+	c.base.UserFree()
+	c.freeObj(cpu, r)
+}
+
+// freeObj is the accounting-free inner free used by both Free and the
+// RCU callback path.
+func (c *Cache) freeObj(cpu int, r slabcore.Ref) {
+	cc := c.cpuCaches[cpu]
+	cc.Mu.Lock()
+	cc.Put(r)
+	if cc.Len() <= cc.Size {
+		cc.Mu.Unlock()
+		return
+	}
+	// Overflow: flush the older half of the cache to the node lists.
+	victims := cc.Take(cc.Len() / 2)
+	cc.Mu.Unlock()
+	c.base.Ctr.Flushes.Add(1)
+	c.base.Trace(trace.KindFlush, cpu, int64(len(victims)), 0)
+	c.releaseToSlabs(victims)
+	node := c.base.NodeFor(cpu)
+	if freed, _ := c.base.ShrinkNode(node, c.base.Cfg.FreeSlabLimit, nil); freed > 0 {
+		c.base.Trace(trace.KindShrink, cpu, int64(freed), 0)
+	}
+}
+
+// releaseToSlabs returns objects to their owning slabs and fixes up
+// list membership.
+func (c *Cache) releaseToSlabs(refs []slabcore.Ref) {
+	for len(refs) > 0 {
+		node := refs[0].Slab.Node()
+		node.Lock()
+		rest := refs[:0]
+		for _, r := range refs {
+			if r.Slab.Node() != node {
+				rest = append(rest, r)
+				continue
+			}
+			r.Slab.PushFree(r.Idx, c.base.Cfg.Poison)
+			node.Move(r.Slab, slabcore.HomeList(r.Slab))
+		}
+		node.Unlock()
+		refs = rest
+	}
+}
+
+// FreeDeferred implements alloc.Cache using the paper's Listing 1: the
+// writer registers an RCU callback and the object stays invisible to
+// the allocator until the callback processor frees it after a grace
+// period (plus whatever throttling delay the processor imposes).
+func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
+	if d := c.base.Debugger(); d != nil {
+		d.OnFree(r, cpu)
+	}
+	c.base.Ctr.DeferredFrees.Add(1)
+	c.base.UserFree()
+	c.alloc.rcu.Call(cpu, func() {
+		c.freeObj(cpu, r)
+	})
+}
+
+// Drain implements alloc.Cache: wait for outstanding deferred frees to
+// be processed, then flush every CPU cache and release all free slabs.
+func (c *Cache) Drain() {
+	// Wait for all deferred frees queued so far to be processed
+	// (callbacks are per-CPU FIFO, so the barrier covers this cache's).
+	c.alloc.rcu.Barrier()
+	for _, cc := range c.cpuCaches {
+		cc.Mu.Lock()
+		objs := cc.TakeAll()
+		cc.Mu.Unlock()
+		if len(objs) > 0 {
+			c.base.Ctr.Flushes.Add(1)
+			c.releaseToSlabs(objs)
+		}
+	}
+	for _, node := range c.base.NodesArr {
+		c.base.ShrinkNode(node, 0, nil)
+	}
+}
+
+// Audit verifies the cache's structural invariants (see slabcore.Audit).
+func (c *Cache) Audit() error { return c.base.Audit() }
+
+// EnableDebug attaches SLUB_DEBUG-style red zones and owner tracking to
+// this cache. Must be called before the first allocation when red zones
+// are requested.
+func (c *Cache) EnableDebug(cfg slabcore.DebugConfig) *slabcore.Debugger {
+	return c.base.EnableDebug(cfg)
+}
+
+// SetTrace attaches an event ring to this cache (nil detaches).
+func (c *Cache) SetTrace(r *trace.Ring) { c.base.SetTrace(r) }

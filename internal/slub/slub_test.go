@@ -1,0 +1,171 @@
+package slub_test
+
+import (
+	"testing"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/slabcore"
+	"prudence/internal/slub"
+	"prudence/internal/trace"
+)
+
+func build(s *alloctest.Stack) alloc.Allocator {
+	return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.RunConformance(t, build)
+}
+
+func TestName(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	if got := s.Alloc.Name(); got != "slub" {
+		t.Fatalf("Name() = %q, want slub", got)
+	}
+}
+
+// The defining property of the baseline: a deferred free is invisible to
+// the allocator until the RCU callback fires, so even after the grace
+// period has elapsed a throttled callback processor keeps the objects
+// unavailable (the extended object lifetimes of §3.2).
+func TestDeferredInvisibleUntilCallback(t *testing.T) {
+	cfg := alloctest.DefaultStackConfig()
+	cfg.RCU.Blimit = 1
+	cfg.RCU.ThrottleDelay = 20 * time.Millisecond
+	s := alloctest.NewStack(t, cfg, build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("inv"))
+
+	for i := 0; i < 20; i++ {
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.FreeDeferred(0, r)
+	}
+	s.RCU.Synchronize()
+	// Immediately after the grace period the blimit-1 processor has
+	// invoked at most a couple of callbacks; most remain pending even
+	// though they are safe.
+	if got := s.RCU.PendingCallbacks(); got < 10 {
+		t.Fatalf("expected a large pending backlog right after GP, got %d", got)
+	}
+	c.Drain()
+	if got := s.RCU.PendingCallbacks(); got != 0 {
+		t.Fatalf("pending callbacks after drain = %d", got)
+	}
+}
+
+// Exhausting the CPU cache forces refills and grows; freeing everything
+// back forces overflow flushes and threshold shrinks.
+func TestChurnCounters(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("churn"))
+
+	const n = 100 // cache size 8, slab capacity 16
+	refs := make([]slabcore.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	ctr := c.Counters().Snapshot()
+	if ctr.Refills == 0 {
+		t.Fatal("no refills recorded for 100 allocations with cache size 8")
+	}
+	if ctr.Grows < 7 {
+		t.Fatalf("Grows = %d, want >= 7 (100 objects / 16 per slab)", ctr.Grows)
+	}
+	if ctr.PeakSlabs < 7 {
+		t.Fatalf("PeakSlabs = %d, want >= 7", ctr.PeakSlabs)
+	}
+	if ctr.CacheHits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+	for _, r := range refs {
+		c.Free(0, r)
+	}
+	ctr = c.Counters().Snapshot()
+	if ctr.Flushes == 0 {
+		t.Fatal("no flushes recorded after freeing 100 objects")
+	}
+	if ctr.Shrinks == 0 {
+		t.Fatal("no shrinks recorded after freeing all objects")
+	}
+	c.Drain()
+	if got := c.Counters().CurrentSlabs(); got != 0 {
+		t.Fatalf("CurrentSlabs after drain = %d", got)
+	}
+}
+
+// SLUB never uses the Prudence-only machinery.
+func TestNoPrudenceCountersMove(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("plain"))
+	for i := 0; i < 200; i++ {
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.FreeDeferred(0, r)
+	}
+	c.Drain()
+	ctr := c.Counters().Snapshot()
+	if ctr.LatentHits != 0 || ctr.PreFlushes != 0 || ctr.PreMoves != 0 || ctr.PartialFills != 0 || ctr.GPWaits != 0 {
+		t.Fatalf("baseline moved Prudence-only counters: %+v", ctr)
+	}
+	if ctr.DeferredFrees != 200 {
+		t.Fatalf("DeferredFrees = %d, want 200", ctr.DeferredFrees)
+	}
+}
+
+// Deferred frees round-trip through the RCU callback machinery: the
+// object count invoked matches the deferred count after drain.
+func TestDeferredGoesThroughRCU(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("viarcu"))
+	const n = 50
+	for i := 0; i < n; i++ {
+		r, err := c.Malloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.FreeDeferred(0, r)
+	}
+	st := s.RCU.Stats()
+	if st.CallbacksQueued != n {
+		t.Fatalf("RCU callbacks queued=%d, want %d", st.CallbacksQueued, n)
+	}
+	c.Drain() // uses rcu.Barrier, which queues sentinel callbacks of its own
+	st = s.RCU.Stats()
+	if st.CallbacksInvoked != st.CallbacksQueued || st.CallbacksInvoked < n {
+		t.Fatalf("RCU callbacks queued=%d invoked=%d after drain", st.CallbacksQueued, st.CallbacksInvoked)
+	}
+}
+
+func TestCacheIdentityAndHooks(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("ident")).(*slub.Cache)
+	if c.Name() != "ident" || c.ObjectSize() != 256 {
+		t.Fatalf("identity: %q/%d", c.Name(), c.ObjectSize())
+	}
+	ring := trace.NewRing(64)
+	c.SetTrace(ring)
+	d := c.EnableDebug(slabcore.DebugConfig{TrackOwners: true})
+	r, err := c.Malloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := d.Leaks(); rep.Live != 1 {
+		t.Fatalf("owner tracking through slub: %s", rep)
+	}
+	c.Free(0, r)
+	// The refill that served the allocation must have been traced.
+	if ring.CountByKind()[trace.KindRefill] == 0 {
+		t.Fatal("no refill events traced through slub")
+	}
+	c.Drain()
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe log-bucketed latency histogram used
+// by the harness to report allocation-path latency distributions (the
+// §3.3 comparison) rather than bare means.
+//
+// Buckets are powers of two in nanoseconds: bucket i covers
+// [2^i, 2^(i+1)) ns, with an underflow bucket for < 1 ns.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := 0
+	if d > 0 {
+		idx = 64 - leadingZeros64(uint64(d))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) using the
+// bucket upper bounds; accuracy is within a factor of two, which is
+// plenty for order-of-magnitude path-cost comparisons.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return time.Nanosecond
+			}
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p99=%v max=%v mean=%v",
+		h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max(), h.Mean())
+}
+
+// Median returns the exact median of a duration slice (helper for
+// repeated-run reporting; modifies a copy, not the input).
+func Median(ds []float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(ds))
+	copy(cp, ds)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

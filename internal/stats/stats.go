@@ -1,0 +1,296 @@
+// Package stats provides the metric plumbing shared by the allocators
+// and the benchmark harness: atomic counter sets matching the attributes
+// the paper reports (cache hits, object cache churns, slab churns, peak
+// slab usage, total fragmentation), a time-series sampler for the
+// used-memory traces of Figure 3, and small formatting helpers.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AllocCounters is the live, atomically-updated counter set for one slab
+// cache (or one allocator instance). The fields map one-to-one onto the
+// quantities in the paper's Figures 7-12.
+type AllocCounters struct {
+	Allocs        atomic.Uint64 // total allocation requests
+	CacheHits     atomic.Uint64 // allocations served from the per-CPU object cache
+	LatentHits    atomic.Uint64 // allocations served by merging safe latent objects (Prudence)
+	Refills       atomic.Uint64 // object cache refill operations
+	PartialFills  atomic.Uint64 // refills that were deliberately partial (Prudence)
+	Flushes       atomic.Uint64 // object cache flush operations
+	PreFlushes    atomic.Uint64 // idle-time latent cache pre-flush operations (Prudence)
+	Grows         atomic.Uint64 // slab cache grow operations (pages allocated)
+	Shrinks       atomic.Uint64 // slab cache shrink operations (pages returned)
+	Frees         atomic.Uint64 // immediate frees
+	DeferredFrees atomic.Uint64 // frees deferred for a grace period
+	PreMoves      atomic.Uint64 // slab pre-movements between node lists (Prudence)
+	GPWaits       atomic.Uint64 // allocations that had to wait for a grace period (OOM delay)
+
+	peakSlabs    atomic.Int64
+	currentSlabs atomic.Int64
+}
+
+// SlabGrown records count slabs added and maintains the peak.
+func (c *AllocCounters) SlabGrown(count int) {
+	c.Grows.Add(uint64(count))
+	cur := c.currentSlabs.Add(int64(count))
+	for {
+		peak := c.peakSlabs.Load()
+		if cur <= peak || c.peakSlabs.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// SlabShrunk records count slabs returned to the page allocator.
+func (c *AllocCounters) SlabShrunk(count int) {
+	c.Shrinks.Add(uint64(count))
+	if c.currentSlabs.Add(int64(-count)) < 0 {
+		panic("stats: negative slab count")
+	}
+}
+
+// CurrentSlabs returns the number of slabs currently allocated.
+func (c *AllocCounters) CurrentSlabs() int { return int(c.currentSlabs.Load()) }
+
+// PeakSlabs returns the high-water mark of allocated slabs.
+func (c *AllocCounters) PeakSlabs() int { return int(c.peakSlabs.Load()) }
+
+// AllocSnapshot is an immutable copy of AllocCounters.
+type AllocSnapshot struct {
+	Allocs        uint64
+	CacheHits     uint64
+	LatentHits    uint64
+	Refills       uint64
+	PartialFills  uint64
+	Flushes       uint64
+	PreFlushes    uint64
+	Grows         uint64
+	Shrinks       uint64
+	Frees         uint64
+	DeferredFrees uint64
+	PreMoves      uint64
+	GPWaits       uint64
+	PeakSlabs     int
+	CurrentSlabs  int
+}
+
+// Snapshot copies the counters.
+func (c *AllocCounters) Snapshot() AllocSnapshot {
+	return AllocSnapshot{
+		Allocs:        c.Allocs.Load(),
+		CacheHits:     c.CacheHits.Load(),
+		LatentHits:    c.LatentHits.Load(),
+		Refills:       c.Refills.Load(),
+		PartialFills:  c.PartialFills.Load(),
+		Flushes:       c.Flushes.Load(),
+		PreFlushes:    c.PreFlushes.Load(),
+		Grows:         c.Grows.Load(),
+		Shrinks:       c.Shrinks.Load(),
+		Frees:         c.Frees.Load(),
+		DeferredFrees: c.DeferredFrees.Load(),
+		PreMoves:      c.PreMoves.Load(),
+		GPWaits:       c.GPWaits.Load(),
+		PeakSlabs:     c.PeakSlabs(),
+		CurrentSlabs:  c.CurrentSlabs(),
+	}
+}
+
+// Sub returns the difference s - o, field by field (peaks and current
+// values are taken from s).
+func (s AllocSnapshot) Sub(o AllocSnapshot) AllocSnapshot {
+	return AllocSnapshot{
+		Allocs:        s.Allocs - o.Allocs,
+		CacheHits:     s.CacheHits - o.CacheHits,
+		LatentHits:    s.LatentHits - o.LatentHits,
+		Refills:       s.Refills - o.Refills,
+		PartialFills:  s.PartialFills - o.PartialFills,
+		Flushes:       s.Flushes - o.Flushes,
+		PreFlushes:    s.PreFlushes - o.PreFlushes,
+		Grows:         s.Grows - o.Grows,
+		Shrinks:       s.Shrinks - o.Shrinks,
+		Frees:         s.Frees - o.Frees,
+		DeferredFrees: s.DeferredFrees - o.DeferredFrees,
+		PreMoves:      s.PreMoves - o.PreMoves,
+		GPWaits:       s.GPWaits - o.GPWaits,
+		PeakSlabs:     s.PeakSlabs,
+		CurrentSlabs:  s.CurrentSlabs,
+	}
+}
+
+// CacheHitRate returns the fraction of allocations served from the
+// object cache (including latent merges, which the paper counts as
+// cache hits since no node-list work is involved).
+func (s AllocSnapshot) CacheHitRate() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.LatentHits) / float64(s.Allocs)
+}
+
+// ObjectCacheChurns returns the number of refill/flush pairs — the
+// object cache churn metric of Figure 8.
+func (s AllocSnapshot) ObjectCacheChurns() uint64 {
+	return min(s.Refills, s.Flushes)
+}
+
+// SlabChurns returns the number of grow/shrink pairs — the slab churn
+// metric of Figure 9.
+func (s AllocSnapshot) SlabChurns() uint64 {
+	return min(s.Grows, s.Shrinks)
+}
+
+// DeferredFreeRatio returns the fraction of free operations that were
+// deferred — the metric of Figure 12.
+func (s AllocSnapshot) DeferredFreeRatio() float64 {
+	total := s.Frees + s.DeferredFrees
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DeferredFrees) / float64(total)
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is a concurrency-safe append-only time series.
+type Series struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Add appends a sample with the current time.
+func (s *Series) Add(v float64) { s.AddAt(time.Now(), v) }
+
+// AddAt appends a sample with an explicit timestamp.
+func (s *Series) AddAt(t time.Time, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Points returns a copy of all samples.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Max returns the maximum sample value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := 0.0
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Downsample returns at most n points, evenly spaced across the series.
+func (s *Series) Downsample(n int) []Point {
+	pts := s.Points()
+	if n <= 0 || len(pts) <= n {
+		return pts
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*len(pts)/n])
+	}
+	return out
+}
+
+// Table is a minimal fixed-width text table builder used by the bench
+// harness to print paper-style result tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Ratio formats new/old as a human-readable improvement multiple or
+// percentage delta, matching how the paper reports results.
+func Ratio(baseline, improved float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	r := improved / baseline
+	if r >= 2 {
+		return fmt.Sprintf("%.1fx", r)
+	}
+	return fmt.Sprintf("%+.1f%%", (r-1)*100)
+}

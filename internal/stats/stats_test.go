@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSlabGrowShrinkPeak(t *testing.T) {
+	var c AllocCounters
+	c.SlabGrown(3)
+	c.SlabGrown(2)
+	if got := c.CurrentSlabs(); got != 5 {
+		t.Fatalf("CurrentSlabs = %d, want 5", got)
+	}
+	c.SlabShrunk(4)
+	if got := c.CurrentSlabs(); got != 1 {
+		t.Fatalf("CurrentSlabs = %d, want 1", got)
+	}
+	if got := c.PeakSlabs(); got != 5 {
+		t.Fatalf("PeakSlabs = %d, want 5", got)
+	}
+	s := c.Snapshot()
+	if s.Grows != 5 || s.Shrinks != 4 || s.PeakSlabs != 5 || s.CurrentSlabs != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestNegativeSlabCountPanics(t *testing.T) {
+	var c AllocCounters
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative slab count did not panic")
+		}
+	}()
+	c.SlabShrunk(1)
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c AllocCounters
+	c.Allocs.Add(10)
+	c.CacheHits.Add(7)
+	before := c.Snapshot()
+	c.Allocs.Add(5)
+	c.CacheHits.Add(2)
+	c.Flushes.Add(3)
+	d := c.Snapshot().Sub(before)
+	if d.Allocs != 5 || d.CacheHits != 2 || d.Flushes != 3 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := AllocSnapshot{
+		Allocs:        100,
+		CacheHits:     70,
+		LatentHits:    20,
+		Refills:       8,
+		Flushes:       5,
+		Grows:         4,
+		Shrinks:       6,
+		Frees:         60,
+		DeferredFrees: 40,
+	}
+	if got := s.CacheHitRate(); got != 0.9 {
+		t.Errorf("CacheHitRate = %v, want 0.9", got)
+	}
+	if got := s.ObjectCacheChurns(); got != 5 {
+		t.Errorf("ObjectCacheChurns = %d, want 5", got)
+	}
+	if got := s.SlabChurns(); got != 4 {
+		t.Errorf("SlabChurns = %d, want 4", got)
+	}
+	if got := s.DeferredFreeRatio(); got != 0.4 {
+		t.Errorf("DeferredFreeRatio = %v, want 0.4", got)
+	}
+}
+
+func TestDerivedMetricsZeroDenominators(t *testing.T) {
+	var s AllocSnapshot
+	if s.CacheHitRate() != 0 || s.DeferredFreeRatio() != 0 {
+		t.Fatal("zero-denominator metrics should be 0")
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		s.AddAt(base.Add(time.Duration(i)*time.Millisecond), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if s.Max() != 9 {
+		t.Fatalf("Max = %v, want 9", s.Max())
+	}
+	pts := s.Points()
+	pts[0].V = 999 // must not affect internal state
+	if s.Points()[0].V == 999 {
+		t.Fatal("Points returned aliased storage")
+	}
+	ds := s.Downsample(4)
+	if len(ds) != 4 {
+		t.Fatalf("Downsample len = %d, want 4", len(ds))
+	}
+	full := s.Downsample(100)
+	if len(full) != 10 {
+		t.Fatalf("Downsample beyond length = %d, want 10", len(full))
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("cache", "slub", "prudence")
+	tb.AddRow("filp", 100, 42)
+	tb.AddRow("dentry", 3.14159, "ok")
+	out := tb.String()
+	if !strings.Contains(out, "cache") || !strings.Contains(out, "filp") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+}
+
+func TestRatioFormatting(t *testing.T) {
+	cases := []struct {
+		base, improved float64
+		want           string
+	}{
+		{100, 390, "3.9x"},
+		{100, 104, "+4.0%"},
+		{100, 96, "-4.0%"},
+		{0, 5, "n/a"},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.base, c.improved); got != c.want {
+			t.Errorf("Ratio(%v,%v) = %q, want %q", c.base, c.improved, got, c.want)
+		}
+	}
+}
+
+// Property: churns are symmetric in the sense of being bounded by both
+// refills and flushes.
+func TestPropertyChurnBounds(t *testing.T) {
+	f := func(refills, flushes uint16) bool {
+		s := AllocSnapshot{Refills: uint64(refills), Flushes: uint64(flushes)}
+		ch := s.ObjectCacheChurns()
+		return ch <= s.Refills && ch <= s.Flushes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace provides a low-overhead, fixed-capacity event ring for
+// observing allocator behaviour: cache refills and flushes, slab grows,
+// shrinks and pre-movements, latent merges and grace-period waits. The
+// benchmark CLI can attach a ring to a cache and dump the trailing
+// events, which is how the churn patterns of §3 were inspected during
+// development.
+//
+// Recording is wait-free (one atomic increment plus a slot write); the
+// ring overwrites its oldest entries when full. Events carry a
+// coarse-grained wall-clock timestamp, the CPU, and two free-form
+// arguments whose meaning depends on the kind.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies an event type.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindNone     Kind = iota
+	KindMalloc        // arg1 = object index, arg2 = 1 for cache hit
+	KindFree          // arg1 = object index
+	KindDefer         // arg1 = object index, arg2 = grace-period cookie
+	KindRefill        // arg1 = objects moved, arg2 = 1 when partial
+	KindFlush         // arg1 = objects moved
+	KindGrow          // arg1 = slabs added
+	KindShrink        // arg1 = slabs returned
+	KindPreMove       // arg1 = destination list id
+	KindPreFlush      // arg1 = objects moved to latent slabs
+	KindMerge         // arg1 = objects merged from latent cache
+	KindGPWait        // allocation waited for a grace period
+	KindOOM           // allocation failed with out-of-memory
+)
+
+var kindNames = [...]string{
+	KindNone:     "none",
+	KindMalloc:   "malloc",
+	KindFree:     "free",
+	KindDefer:    "defer",
+	KindRefill:   "refill",
+	KindFlush:    "flush",
+	KindGrow:     "grow",
+	KindShrink:   "shrink",
+	KindPreMove:  "premove",
+	KindPreFlush: "preflush",
+	KindMerge:    "merge",
+	KindGPWait:   "gpwait",
+	KindOOM:      "oom",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   time.Time
+	Kind Kind
+	CPU  int32
+	Arg1 int64
+	Arg2 int64
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%s cpu%d %s arg1=%d arg2=%d",
+		e.At.Format("15:04:05.000000"), e.CPU, e.Kind, e.Arg1, e.Arg2)
+}
+
+// Ring is a fixed-capacity overwrite-on-full event buffer, safe for
+// concurrent recording from any goroutine.
+type Ring struct {
+	slots []slot
+	next  atomic.Uint64
+	mask  uint64
+}
+
+type slot struct {
+	seq atomic.Uint64 // odd while being written; event valid when even and non-zero
+	ev  Event
+}
+
+// NewRing creates a ring holding up to capacity events, rounded up to a
+// power of two (minimum 16).
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Record appends an event, overwriting the oldest when full.
+func (r *Ring) Record(kind Kind, cpu int, arg1, arg2 int64) {
+	idx := r.next.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	// Seqlock-style: odd marks the slot as mid-write so Snapshot can
+	// discard torn reads.
+	seq := s.seq.Add(1) // odd
+	_ = seq
+	s.ev = Event{At: time.Now(), Kind: kind, CPU: int32(cpu), Arg1: arg1, Arg2: arg2}
+	s.seq.Add(1) // even
+}
+
+// Len returns how many events have ever been recorded (not the number
+// retained).
+func (r *Ring) Len() int { return int(r.next.Load()) }
+
+// Snapshot returns the retained events, oldest first. Events being
+// written concurrently are skipped.
+func (r *Ring) Snapshot() []Event {
+	total := r.next.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if total > n {
+		start = total - n
+	}
+	out := make([]Event, 0, total-start)
+	for i := start; i < total; i++ {
+		s := &r.slots[i&r.mask]
+		before := s.seq.Load()
+		if before%2 != 0 {
+			continue // mid-write
+		}
+		ev := s.ev
+		if s.seq.Load() != before {
+			continue // overwritten while reading
+		}
+		if ev.Kind == KindNone {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// CountByKind tallies the retained events.
+func (r *Ring) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range r.Snapshot() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump renders the trailing max events, oldest first.
+func (r *Ring) Dump(max int) string {
+	evs := r.Snapshot()
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Package vcpu models the machine's CPUs.
+//
+// Kernel per-CPU data structures (SLUB's per-CPU object caches, RCU's
+// per-CPU quiescent-state bookkeeping, Prudence's latent caches) rely on
+// code running on a particular CPU with preemption disabled. In this
+// reproduction, each virtual CPU is owned by exactly one worker
+// goroutine at a time; subsystems index their per-CPU state by CPU ID.
+//
+// Every CPU also has an idle worker: a goroutine that executes queued
+// background work when the owning workload is not issuing calls. It is
+// the substitute for the "idleness is not sloth" idle-time processing
+// the paper borrows for latent cache pre-flush (§4.2): work queued there
+// runs concurrently with, and yields to, the foreground workload.
+package vcpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CPU is a handle to one virtual CPU. The zero value is not usable;
+// obtain handles from a Machine.
+type CPU struct {
+	id      int
+	machine *Machine
+
+	idleMu     sync.Mutex
+	idleQueue  []func()
+	idleWake   chan struct{}
+	idleActive atomic.Bool
+}
+
+// ID returns the CPU's index in [0, Machine.NumCPU()).
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.machine }
+
+// Machine is a fixed set of virtual CPUs.
+type Machine struct {
+	cpus []*CPU
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMachine creates a machine with n virtual CPUs and starts their idle
+// workers. Call Stop when the machine is no longer needed.
+func NewMachine(n int) *Machine {
+	if n <= 0 {
+		panic(fmt.Sprintf("vcpu: non-positive CPU count %d", n))
+	}
+	m := &Machine{stop: make(chan struct{})}
+	m.cpus = make([]*CPU, n)
+	for i := range m.cpus {
+		c := &CPU{id: i, machine: m, idleWake: make(chan struct{}, 1)}
+		m.cpus[i] = c
+		m.wg.Add(1)
+		go c.idleLoop(&m.wg, m.stop)
+	}
+	return m
+}
+
+// NumCPU returns the number of CPUs in the machine.
+func (m *Machine) NumCPU() int { return len(m.cpus) }
+
+// CPU returns the handle for CPU id.
+func (m *Machine) CPU(id int) *CPU {
+	if id < 0 || id >= len(m.cpus) {
+		panic(fmt.Sprintf("vcpu: CPU id %d out of range [0,%d)", id, len(m.cpus)))
+	}
+	return m.cpus[id]
+}
+
+// Stop shuts down the idle workers. Queued idle work that has not
+// started is discarded. Stop is idempotent.
+func (m *Machine) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// RunOnAll invokes fn(cpu) concurrently on every CPU (one goroutine per
+// CPU, the goroutine owning that CPU for the duration) and waits for all
+// to return.
+func (m *Machine) RunOnAll(fn func(c *CPU)) {
+	var wg sync.WaitGroup
+	for _, c := range m.cpus {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// ScheduleIdle queues fn to run on the CPU's idle worker. Work items run
+// sequentially in FIFO order. fn must not block indefinitely.
+func (c *CPU) ScheduleIdle(fn func()) {
+	c.idleMu.Lock()
+	c.idleQueue = append(c.idleQueue, fn)
+	c.idleMu.Unlock()
+	select {
+	case c.idleWake <- struct{}{}:
+	default:
+	}
+}
+
+// IdleBusy reports whether the idle worker is currently executing or has
+// queued work. Callers use it to avoid double-scheduling.
+func (c *CPU) IdleBusy() bool {
+	if c.idleActive.Load() {
+		return true
+	}
+	c.idleMu.Lock()
+	defer c.idleMu.Unlock()
+	return len(c.idleQueue) > 0
+}
+
+// runIdle isolates idle work: a panicking work item must not kill the
+// idle worker (background maintenance like Prudence's pre-flush would
+// silently stop for the rest of the CPU's life).
+func runIdle(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+func (c *CPU) idleLoop(wg *sync.WaitGroup, stop chan struct{}) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.idleWake:
+		}
+		for {
+			c.idleMu.Lock()
+			if len(c.idleQueue) == 0 {
+				c.idleMu.Unlock()
+				break
+			}
+			fn := c.idleQueue[0]
+			c.idleQueue = c.idleQueue[1:]
+			c.idleMu.Unlock()
+
+			c.idleActive.Store(true)
+			runIdle(fn)
+			c.idleActive.Store(false)
+			// Idle work is low priority: yield between items so the
+			// foreground workload goroutine gets the core first.
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package vcpu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewMachinePanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMachine(%d) did not panic", n)
+				}
+			}()
+			NewMachine(n)
+		}()
+	}
+}
+
+func TestCPUIdentity(t *testing.T) {
+	m := NewMachine(4)
+	defer m.Stop()
+	if m.NumCPU() != 4 {
+		t.Fatalf("NumCPU = %d, want 4", m.NumCPU())
+	}
+	for i := 0; i < 4; i++ {
+		c := m.CPU(i)
+		if c.ID() != i {
+			t.Errorf("CPU(%d).ID() = %d", i, c.ID())
+		}
+		if c.Machine() != m {
+			t.Errorf("CPU(%d).Machine() mismatch", i)
+		}
+		if m.CPU(i) != c {
+			t.Errorf("CPU(%d) not stable", i)
+		}
+	}
+}
+
+func TestCPUOutOfRangePanics(t *testing.T) {
+	m := NewMachine(2)
+	defer m.Stop()
+	for _, id := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CPU(%d) did not panic", id)
+				}
+			}()
+			m.CPU(id)
+		}()
+	}
+}
+
+func TestRunOnAllVisitsEveryCPUOnce(t *testing.T) {
+	m := NewMachine(8)
+	defer m.Stop()
+	var counts [8]atomic.Int32
+	m.RunOnAll(func(c *CPU) {
+		counts[c.ID()].Add(1)
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("CPU %d visited %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestScheduleIdleRunsFIFO(t *testing.T) {
+	m := NewMachine(1)
+	defer m.Stop()
+	c := m.CPU(0)
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	for i := 0; i < 5; i++ {
+		i := i
+		c.ScheduleIdle(func() {
+			mu.Lock()
+			order = append(order, i)
+			n := len(order)
+			mu.Unlock()
+			if n == 5 {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle work did not complete")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("idle order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestIdleBusyReflectsQueue(t *testing.T) {
+	m := NewMachine(1)
+	defer m.Stop()
+	c := m.CPU(0)
+	if c.IdleBusy() {
+		t.Fatal("fresh CPU reports IdleBusy")
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	c.ScheduleIdle(func() {
+		close(started)
+		<-block
+	})
+	<-started
+	if !c.IdleBusy() {
+		t.Fatal("IdleBusy false while work is executing")
+	}
+	close(block)
+	deadline := time.After(5 * time.Second)
+	for c.IdleBusy() {
+		select {
+		case <-deadline:
+			t.Fatal("IdleBusy never cleared")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestStopIsIdempotentAndDiscardsQueued(t *testing.T) {
+	m := NewMachine(2)
+	m.Stop()
+	m.Stop() // must not panic or deadlock
+}
+
+func TestIdleWorkersIndependentAcrossCPUs(t *testing.T) {
+	m := NewMachine(2)
+	defer m.Stop()
+	block := make(chan struct{})
+	started0 := make(chan struct{})
+	m.CPU(0).ScheduleIdle(func() {
+		close(started0)
+		<-block
+	})
+	<-started0
+	done1 := make(chan struct{})
+	m.CPU(1).ScheduleIdle(func() { close(done1) })
+	select {
+	case <-done1:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CPU 1 idle work blocked by CPU 0")
+	}
+	close(block)
+}
+
+func TestIdleWorkerSurvivesPanic(t *testing.T) {
+	m := NewMachine(1)
+	defer m.Stop()
+	c := m.CPU(0)
+	c.ScheduleIdle(func() { panic("injected") })
+	done := make(chan struct{})
+	c.ScheduleIdle(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle worker died after a panicking work item")
+	}
+}

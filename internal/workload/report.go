@@ -1,0 +1,6 @@
+package workload
+
+import "prudence/internal/stats"
+
+// SnapshotAlias is the counters snapshot type embedded in CacheReport.
+type SnapshotAlias = stats.AllocSnapshot

@@ -1,0 +1,481 @@
+// Package workload implements the load generators behind every
+// experiment in the paper's evaluation:
+//
+//   - Micro: the Figure 6 kmalloc()/kfree_deferred() tight loop, per
+//     object size, on all CPUs.
+//   - Endurance: the §3.5/§5.5 per-CPU linked-list update storm with
+//     512-byte objects that drives SLUB to OOM (Figure 3) while
+//     Prudence reaches equilibrium.
+//   - App profiles: synthetic substitutes for Postmark, Netperf,
+//     Apache and PostgreSQL that reproduce each benchmark's
+//     allocator-visible signature — which slab caches are stressed,
+//     the deferred-free share of total frees (Figure 12), object hold
+//     times and non-deferred interference (Figures 7-13).
+//   - DoS: the §3.4 open/close flood.
+//
+// The real applications cannot run against a simulated kernel
+// allocator; the profiles are the documented substitution (DESIGN.md §2)
+// and carry the parameters the paper's own analysis says drive the
+// results.
+package workload
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/rculist"
+	"prudence/internal/slabcore"
+	"prudence/internal/vcpu"
+)
+
+// Env bundles the substrate a workload runs on.
+type Env struct {
+	Machine *vcpu.Machine
+	RCU     *rcu.RCU
+	Pages   *pagealloc.Allocator
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmark (Figure 6)
+
+// MicroResult reports one micro-benchmark run.
+type MicroResult struct {
+	ObjectSize int
+	Pairs      int           // total malloc/free_deferred pairs completed
+	Elapsed    time.Duration // wall time
+	Stalls     int           // allocations that had to wait out reclaim
+}
+
+// PairsPerSec returns the Figure 6 metric.
+func (r MicroResult) PairsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Pairs) / r.Elapsed.Seconds()
+}
+
+// RunMicro executes pairsPerCPU kmalloc/kfree_deferred pairs on every
+// CPU against cache and reports the aggregate rate. On transient
+// exhaustion the loop waits for a grace period (the analogue of an
+// allocation stalling in direct reclaim) and retries.
+func RunMicro(env Env, cache alloc.Cache, pairsPerCPU int) MicroResult {
+	var stalls atomic.Int64
+	start := time.Now()
+	env.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		env.RCU.ExitIdle(cpu)
+		defer env.RCU.EnterIdle(cpu)
+		for i := 0; i < pairsPerCPU; i++ {
+			ref, err := cache.Malloc(cpu)
+			for err != nil {
+				stalls.Add(1)
+				env.RCU.SynchronizeOn(cpu)
+				ref, err = cache.Malloc(cpu)
+			}
+			ref.Bytes()[0] = byte(i) // touch the object
+			cache.FreeDeferred(cpu, ref)
+			env.RCU.QuiescentState(cpu)
+		}
+	})
+	return MicroResult{
+		ObjectSize: cache.ObjectSize(),
+		Pairs:      pairsPerCPU * env.Machine.NumCPU(),
+		Elapsed:    time.Since(start),
+		Stalls:     int(stalls.Load()),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Endurance (Figure 3, §3.5/§5.5)
+
+// EnduranceConfig parameterizes the list-update storm.
+type EnduranceConfig struct {
+	// ListLen is the number of elements in each CPU's private list.
+	ListLen int
+	// Updates is the number of update operations per CPU (each is one
+	// allocation plus one deferred free of an ObjectSize object).
+	Updates int
+	// PacePerUpdate throttles updates to a fixed rate (0 = flat out);
+	// used to pin the defer rate above the callback processing rate.
+	PacePerUpdate time.Duration
+}
+
+// EnduranceResult reports a run.
+type EnduranceResult struct {
+	OOM        bool          // the allocator ran out of memory
+	OOMAfter   time.Duration // time of first OOM (if OOM)
+	Updates    int           // updates completed across CPUs
+	Elapsed    time.Duration
+	PeakPages  int
+	FinalPages int
+}
+
+// RunEndurance runs the §3.5 workload: every CPU continuously performs
+// linked-list update operations on its own list (no list-lock
+// contention), each allocating a new object and defer-freeing the old
+// version. The caller samples used memory via the arena's sampler.
+func RunEndurance(env Env, cache alloc.Cache, cfg EnduranceConfig) EnduranceResult {
+	if cfg.ListLen <= 0 {
+		cfg.ListLen = 64
+	}
+	lists := make([]*rculist.List, env.Machine.NumCPU())
+	for i := range lists {
+		lists[i] = rculist.New(cache, env.RCU)
+	}
+	var oom atomic.Bool
+	var oomAt atomic.Int64 // nanoseconds since start
+	var updates atomic.Int64
+	start := time.Now()
+
+	env.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		env.RCU.ExitIdle(cpu)
+		defer env.RCU.EnterIdle(cpu)
+		l := lists[cpu]
+		for k := 0; k < cfg.ListLen; k++ {
+			if err := l.Insert(cpu, uint64(k), []byte{byte(k)}); err != nil {
+				recordOOM(&oom, &oomAt, start)
+				return
+			}
+		}
+		val := make([]byte, 8)
+		for i := 0; i < cfg.Updates && !oom.Load(); i++ {
+			val[0] = byte(i)
+			if _, err := l.Update(cpu, uint64(i%cfg.ListLen), val); err != nil {
+				if errors.Is(err, pagealloc.ErrOutOfMemory) {
+					recordOOM(&oom, &oomAt, start)
+					return
+				}
+				return
+			}
+			updates.Add(1)
+			env.RCU.QuiescentState(cpu)
+			if cfg.PacePerUpdate > 0 && i%64 == 63 {
+				time.Sleep(64 * cfg.PacePerUpdate)
+			}
+		}
+	})
+	res := EnduranceResult{
+		OOM:        oom.Load(),
+		Updates:    int(updates.Load()),
+		Elapsed:    time.Since(start),
+		PeakPages:  env.Pages.Arena().PeakPages(),
+		FinalPages: env.Pages.Arena().UsedPages(),
+	}
+	if res.OOM {
+		res.OOMAfter = time.Duration(oomAt.Load())
+	}
+	return res
+}
+
+func recordOOM(oom *atomic.Bool, oomAt *atomic.Int64, start time.Time) {
+	if oom.CompareAndSwap(false, true) {
+		oomAt.Store(int64(time.Since(start)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Application profiles (Figures 7-13)
+
+// CacheMix describes how one slab cache is exercised per transaction.
+type CacheMix struct {
+	// Cache name and object size (the kernel cache it stands in for).
+	Name       string
+	ObjectSize int
+	// AllocsPerTxn objects are allocated each transaction.
+	AllocsPerTxn int
+	// HoldTxns is how many transactions later the objects are freed
+	// (0 = freed within the same transaction). Longer holds build a
+	// live set, as open files and dentries do.
+	HoldTxns int
+	// DeferredPermille of the frees are deferred (RCU-protected
+	// teardown); the rest are immediate. Out of 1000 for determinism.
+	DeferredPermille int
+	// BurstEvery, when non-zero, releases the cache's entire hold
+	// queue every BurstEvery transactions — the delete phases of
+	// Postmark-style workloads that empty whole slabs at once and
+	// drive the bursty freeing of §3.1.
+	BurstEvery int
+}
+
+// AppProfile is the allocator-visible signature of one benchmark.
+type AppProfile struct {
+	Name string
+	// Mixes are the slab caches the benchmark stresses.
+	Mixes []CacheMix
+	// ThinkWork is the amount of non-allocator CPU work per transaction
+	// (iterations of a hash mix), controlling how much of total runtime
+	// the allocator represents — the paper's §5.4 point that overall
+	// improvement depends on how hard the allocator is exercised.
+	ThinkWork int
+}
+
+// Profiles returns the four benchmark profiles. The deferred-free
+// shares reproduce Figure 12 (Postmark 24.4%, Netperf 14%, Apache 18%,
+// PostgreSQL 4.4%), and the cache lists match the slab caches the paper
+// reports for each benchmark (§5.3-5.4).
+func Profiles() []AppProfile {
+	return []AppProfile{
+		{
+			// Mail-server file churn on ext4: files created, appended,
+			// read and deleted. dentry/inode/filp teardown is
+			// RCU-deferred; data-path buffers are immediate.
+			Name: "postmark",
+			Mixes: []CacheMix{
+				{Name: "filp", ObjectSize: 256, AllocsPerTxn: 2, HoldTxns: 8, DeferredPermille: 1000, BurstEvery: 64},
+				{Name: "dentry", ObjectSize: 192, AllocsPerTxn: 2, HoldTxns: 16, DeferredPermille: 1000, BurstEvery: 64},
+				{Name: "ext4_inode", ObjectSize: 1024, AllocsPerTxn: 1, HoldTxns: 16, DeferredPermille: 1000, BurstEvery: 64},
+				{Name: "selinux", ObjectSize: 64, AllocsPerTxn: 2, HoldTxns: 8, DeferredPermille: 1000, BurstEvery: 64},
+				{Name: "kmalloc-64", ObjectSize: 64, AllocsPerTxn: 22, HoldTxns: 1, DeferredPermille: 0},
+			},
+			ThinkWork: 300,
+		},
+		{
+			// TCP connect/request/response: a socket file per
+			// transaction (deferred teardown), transient buffers
+			// immediate.
+			Name: "netperf",
+			Mixes: []CacheMix{
+				{Name: "filp", ObjectSize: 256, AllocsPerTxn: 2, HoldTxns: 2, DeferredPermille: 1000},
+				{Name: "selinux", ObjectSize: 64, AllocsPerTxn: 1, HoldTxns: 2, DeferredPermille: 1000},
+				{Name: "kmalloc-256", ObjectSize: 256, AllocsPerTxn: 18, HoldTxns: 0, DeferredPermille: 0},
+			},
+			ThinkWork: 150,
+		},
+		{
+			// HTTP requests over epoll: eventpoll items removed via RCU,
+			// connection filps deferred, header buffers immediate.
+			Name: "apache",
+			Mixes: []CacheMix{
+				{Name: "eventpoll_epi", ObjectSize: 128, AllocsPerTxn: 2, HoldTxns: 4, DeferredPermille: 1000, BurstEvery: 128},
+				{Name: "filp", ObjectSize: 256, AllocsPerTxn: 2, HoldTxns: 4, DeferredPermille: 1000, BurstEvery: 128},
+				{Name: "selinux", ObjectSize: 64, AllocsPerTxn: 1, HoldTxns: 4, DeferredPermille: 1000},
+				{Name: "kmalloc-64", ObjectSize: 64, AllocsPerTxn: 23, HoldTxns: 1, DeferredPermille: 0},
+			},
+			ThinkWork: 250,
+		},
+		{
+			// OLTP sessions: mostly immediate kmalloc-64 churn with a
+			// small RCU-deferred share; the heavy non-deferred free
+			// traffic on kmalloc-64 interferes with Prudence's
+			// decisions (the paper's PostgreSQL kmalloc-64 outlier).
+			Name: "postgresql",
+			Mixes: []CacheMix{
+				{Name: "filp", ObjectSize: 256, AllocsPerTxn: 1, HoldTxns: 12, DeferredPermille: 1000},
+				{Name: "selinux", ObjectSize: 64, AllocsPerTxn: 1, HoldTxns: 12, DeferredPermille: 300},
+				{Name: "kmalloc-64", ObjectSize: 64, AllocsPerTxn: 31, HoldTxns: 1, DeferredPermille: 5},
+			},
+			ThinkWork: 400,
+		},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (AppProfile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return AppProfile{}, false
+}
+
+// ExpectedDeferredRatio computes the deferred share of all frees the
+// profile generates — the Figure 12 quantity, derivable statically.
+func (p AppProfile) ExpectedDeferredRatio() float64 {
+	total, deferred := 0.0, 0.0
+	for _, m := range p.Mixes {
+		frees := float64(m.AllocsPerTxn)
+		total += frees
+		deferred += frees * float64(m.DeferredPermille) / 1000
+	}
+	if total == 0 {
+		return 0
+	}
+	return deferred / total
+}
+
+// AppResult reports one application-profile run over one allocator.
+type AppResult struct {
+	Profile      string
+	Transactions int
+	Elapsed      time.Duration
+	// PerCache maps cache name to its counters snapshot at end of run
+	// (before drain), for Figures 7-11.
+	PerCache map[string]CacheReport
+}
+
+// CacheReport is the per-slab-cache measurement set of Figures 7-11.
+type CacheReport struct {
+	Snapshot      SnapshotAlias
+	Fragmentation float64
+}
+
+// SnapshotAlias re-exports stats.AllocSnapshot without importing stats
+// into callers' namespaces; defined via type alias in report.go.
+
+// TxnPerSec returns the Figure 13 throughput metric.
+func (r AppResult) TxnPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Transactions) / r.Elapsed.Seconds()
+}
+
+// held tracks objects waiting to be freed HoldTxns later.
+type held struct {
+	ref     slabcore.Ref
+	release int
+}
+
+// RunApp executes the profile: every CPU runs txnsPerCPU transactions,
+// each allocating per the mixes, doing ThinkWork, and freeing objects
+// whose hold has expired (deferred or immediate per the mix).
+func RunApp(env Env, a alloc.Allocator, p AppProfile, txnsPerCPU int) (AppResult, error) {
+	caches := make([]alloc.Cache, len(p.Mixes))
+	for i, m := range p.Mixes {
+		cfg := slabcore.DefaultConfig(m.Name, m.ObjectSize, env.Machine.NumCPU())
+		caches[i] = a.NewCache(cfg)
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	env.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		env.RCU.ExitIdle(cpu)
+		defer env.RCU.EnterIdle(cpu)
+		queues := make([][]held, len(p.Mixes))
+		freeCounter := make([]int, len(p.Mixes))
+		sink := uint64(0)
+		for txn := 0; txn < txnsPerCPU; txn++ {
+			for mi, m := range p.Mixes {
+				// Release due objects; a burst phase releases the whole
+				// queue at once.
+				q := queues[mi]
+				due := 0
+				if m.BurstEvery > 0 && txn > 0 && txn%m.BurstEvery == 0 {
+					due = len(q)
+				}
+				for due < len(q) && q[due].release <= txn {
+					due++
+				}
+				for _, h := range q[:due] {
+					freeCounter[mi] += m.DeferredPermille
+					if freeCounter[mi] >= 1000 {
+						freeCounter[mi] -= 1000
+						caches[mi].FreeDeferred(cpu, h.ref)
+					} else {
+						caches[mi].Free(cpu, h.ref)
+					}
+				}
+				queues[mi] = append(q[:0], q[due:]...)
+				// Allocate this transaction's objects.
+				for k := 0; k < m.AllocsPerTxn; k++ {
+					ref, err := caches[mi].Malloc(cpu)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					ref.Bytes()[0] = byte(txn)
+					queues[mi] = append(queues[mi], held{ref: ref, release: txn + m.HoldTxns})
+				}
+			}
+			// Application work outside the allocator.
+			for w := 0; w < p.ThinkWork; w++ {
+				sink = sink*0x9E3779B97F4A7C15 + uint64(w)
+			}
+			env.RCU.QuiescentState(cpu)
+		}
+		_ = sink
+		// Drain the hold queues (end of benchmark teardown).
+		for mi, m := range p.Mixes {
+			for _, h := range queues[mi] {
+				freeCounter[mi] += m.DeferredPermille
+				if freeCounter[mi] >= 1000 {
+					freeCounter[mi] -= 1000
+					caches[mi].FreeDeferred(cpu, h.ref)
+				} else {
+					caches[mi].Free(cpu, h.ref)
+				}
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	res := AppResult{
+		Profile:      p.Name,
+		Transactions: txnsPerCPU * env.Machine.NumCPU(),
+		Elapsed:      elapsed,
+		PerCache:     map[string]CacheReport{},
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	for _, c := range caches {
+		ft, _, _ := c.Fragmentation()
+		res.PerCache[c.Name()] = CacheReport{
+			Snapshot:      c.Counters().Snapshot(),
+			Fragmentation: ft,
+		}
+	}
+	// Fragmentation is measured after the completion of each run (§5.4
+	// of the paper measures "after the completion of each run"): report
+	// it before draining, once deferred objects have settled.
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Denial of service (§3.4)
+
+// DoSResult reports an open/close flood run.
+type DoSResult struct {
+	OOM      bool
+	OOMAfter time.Duration
+	Cycles   int
+	Elapsed  time.Duration
+}
+
+// RunDoS floods the filp cache with open/close cycles — each cycle
+// allocates a file object and immediately defer-frees it, the attack
+// reported against the kernel's RCU where a tight open/close loop
+// exhausts memory. duration bounds the attack.
+func RunDoS(env Env, cache alloc.Cache, duration time.Duration) DoSResult {
+	var oom atomic.Bool
+	var oomAt atomic.Int64
+	var cycles atomic.Int64
+	start := time.Now()
+	env.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		env.RCU.ExitIdle(cpu)
+		defer env.RCU.EnterIdle(cpu)
+		for !oom.Load() && time.Since(start) < duration {
+			for i := 0; i < 64; i++ {
+				ref, err := cache.Malloc(cpu)
+				if err != nil {
+					recordOOM(&oom, &oomAt, start)
+					return
+				}
+				cache.FreeDeferred(cpu, ref)
+			}
+			cycles.Add(64)
+			env.RCU.QuiescentState(cpu)
+		}
+	})
+	res := DoSResult{
+		OOM:     oom.Load(),
+		Cycles:  int(cycles.Load()),
+		Elapsed: time.Since(start),
+	}
+	if res.OOM {
+		res.OOMAfter = time.Duration(oomAt.Load())
+	}
+	return res
+}

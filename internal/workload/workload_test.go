@@ -1,0 +1,214 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/alloctest"
+	"prudence/internal/core"
+	"prudence/internal/slabcore"
+	"prudence/internal/slub"
+	"prudence/internal/workload"
+)
+
+func slubBuild(s *alloctest.Stack) alloc.Allocator {
+	return slub.New(s.Pages, s.RCU, s.Machine.NumCPU())
+}
+
+func prudenceBuild(s *alloctest.Stack) alloc.Allocator {
+	return core.New(s.Pages, s.RCU, s.Machine, core.Options{})
+}
+
+func env(s *alloctest.Stack) workload.Env {
+	return workload.Env{Machine: s.Machine, RCU: s.RCU, Pages: s.Pages}
+}
+
+func TestRunMicroCompletesAndCounts(t *testing.T) {
+	for name, build := range map[string]alloctest.BuildAllocator{"slub": slubBuild, "prudence": prudenceBuild} {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 4096
+			s := alloctest.NewStack(t, cfg, build)
+			cache := s.Alloc.NewCache(slabcore.DefaultConfig("kmalloc-512", 512, s.Machine.NumCPU()))
+			res := workload.RunMicro(env(s), cache, 2000)
+			if res.Pairs != 2000*s.Machine.NumCPU() {
+				t.Fatalf("Pairs = %d", res.Pairs)
+			}
+			if res.PairsPerSec() <= 0 {
+				t.Fatal("non-positive rate")
+			}
+			if res.ObjectSize != 512 {
+				t.Fatalf("ObjectSize = %d", res.ObjectSize)
+			}
+			ctr := cache.Counters().Snapshot()
+			if ctr.DeferredFrees != uint64(res.Pairs) {
+				t.Fatalf("DeferredFrees = %d, want %d", ctr.DeferredFrees, res.Pairs)
+			}
+			cache.Drain()
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked", used)
+			}
+		})
+	}
+}
+
+func TestEnduranceCompletesWithinBudget(t *testing.T) {
+	cfg := alloctest.DefaultStackConfig()
+	cfg.Pages = 8192
+	s := alloctest.NewStack(t, cfg, prudenceBuild)
+	cache := s.Alloc.NewCache(slabcore.DefaultConfig("endur", 512, s.Machine.NumCPU()))
+	res := workload.RunEndurance(env(s), cache, workload.EnduranceConfig{
+		ListLen: 32,
+		Updates: 3000,
+	})
+	if res.OOM {
+		t.Fatalf("Prudence endurance OOMed after %v", res.OOMAfter)
+	}
+	if res.Updates != 3000*s.Machine.NumCPU() {
+		t.Fatalf("Updates = %d", res.Updates)
+	}
+	if res.PeakPages <= 0 || res.PeakPages > cfg.Pages {
+		t.Fatalf("PeakPages = %d", res.PeakPages)
+	}
+}
+
+func TestEnduranceReportsOOMOnTinyArena(t *testing.T) {
+	cfg := alloctest.DefaultStackConfig()
+	cfg.Pages = 48
+	// Throttle callbacks hard so the SLUB path cannot recycle.
+	cfg.RCU.Blimit = 1
+	cfg.RCU.ExpeditedBlimit = 1
+	cfg.RCU.ThrottleDelay = 50 * time.Millisecond
+	cfg.RCU.ExpeditedDelay = 50 * time.Millisecond
+	s := alloctest.NewStack(t, cfg, slubBuild)
+	cache := s.Alloc.NewCache(slabcore.DefaultConfig("endur-oom", 512, s.Machine.NumCPU()))
+	res := workload.RunEndurance(env(s), cache, workload.EnduranceConfig{
+		ListLen: 8,
+		Updates: 100000,
+	})
+	if !res.OOM {
+		t.Fatal("SLUB with throttled callbacks on a tiny arena did not OOM")
+	}
+	if res.OOMAfter < 0 || res.OOMAfter > res.Elapsed {
+		t.Fatalf("OOMAfter = %v outside run of %v", res.OOMAfter, res.Elapsed)
+	}
+}
+
+func TestProfilesMatchFigure12(t *testing.T) {
+	// Paper, Figure 12: deferred frees as a share of all frees.
+	want := map[string]float64{
+		"postmark":   0.244,
+		"netperf":    0.14,
+		"apache":     0.18,
+		"postgresql": 0.044,
+	}
+	profiles := workload.Profiles()
+	if len(profiles) != len(want) {
+		t.Fatalf("%d profiles, want %d", len(profiles), len(want))
+	}
+	for _, p := range profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Fatalf("unexpected profile %q", p.Name)
+		}
+		got := p.ExpectedDeferredRatio()
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("%s deferred ratio = %.3f, paper reports %.3f", p.Name, got, w)
+		}
+	}
+	if _, ok := workload.ProfileByName("postmark"); !ok {
+		t.Fatal("ProfileByName failed")
+	}
+	if _, ok := workload.ProfileByName("nope"); ok {
+		t.Fatal("ProfileByName found a ghost")
+	}
+}
+
+func TestRunAppProducesPerCacheReports(t *testing.T) {
+	for name, build := range map[string]alloctest.BuildAllocator{"slub": slubBuild, "prudence": prudenceBuild} {
+		t.Run(name, func(t *testing.T) {
+			cfg := alloctest.DefaultStackConfig()
+			cfg.Pages = 16384
+			s := alloctest.NewStack(t, cfg, build)
+			p, _ := workload.ProfileByName("netperf")
+			res, err := workload.RunApp(env(s), s.Alloc, p, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Transactions != 500*s.Machine.NumCPU() {
+				t.Fatalf("Transactions = %d", res.Transactions)
+			}
+			if res.TxnPerSec() <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+			if len(res.PerCache) != len(p.Mixes) {
+				t.Fatalf("PerCache has %d entries, want %d", len(res.PerCache), len(p.Mixes))
+			}
+			rep, ok := res.PerCache["filp"]
+			if !ok {
+				t.Fatal("filp cache missing from report")
+			}
+			if rep.Snapshot.Allocs == 0 || rep.Snapshot.DeferredFrees == 0 {
+				t.Fatalf("filp snapshot empty: %+v", rep.Snapshot)
+			}
+			// Measured deferred ratio across caches approximates the
+			// profile's expectation.
+			var frees, defers float64
+			for _, r := range res.PerCache {
+				frees += float64(r.Snapshot.Frees + r.Snapshot.DeferredFrees)
+				defers += float64(r.Snapshot.DeferredFrees)
+			}
+			if math.Abs(defers/frees-p.ExpectedDeferredRatio()) > 0.03 {
+				t.Errorf("measured deferred ratio %.3f vs expected %.3f", defers/frees, p.ExpectedDeferredRatio())
+			}
+			// All objects were released by the workload teardown.
+			for _, c := range s.Alloc.Caches() {
+				c.Drain()
+			}
+			if used := s.Arena.UsedPages(); used != 0 {
+				t.Fatalf("%d pages leaked after app run", used)
+			}
+		})
+	}
+}
+
+func TestRunDoS(t *testing.T) {
+	t.Run("slub-ooms", func(t *testing.T) {
+		cfg := alloctest.DefaultStackConfig()
+		cfg.Pages = 64
+		cfg.RCU.Blimit = 1
+		cfg.RCU.ExpeditedBlimit = 1
+		cfg.RCU.ThrottleDelay = 50 * time.Millisecond
+		cfg.RCU.ExpeditedDelay = 50 * time.Millisecond
+		s := alloctest.NewStack(t, cfg, slubBuild)
+		cache := s.Alloc.NewCache(slabcore.DefaultConfig("filp", 256, s.Machine.NumCPU()))
+		res := workload.RunDoS(env(s), cache, 5*time.Second)
+		if !res.OOM {
+			t.Fatal("DoS against SLUB did not exhaust memory")
+		}
+	})
+	t.Run("prudence-survives", func(t *testing.T) {
+		cfg := alloctest.DefaultStackConfig()
+		cfg.Pages = 64
+		s := alloctest.NewStack(t, cfg, prudenceBuild)
+		cache := s.Alloc.NewCache(slabcore.DefaultConfig("filp", 256, s.Machine.NumCPU()))
+		res := workload.RunDoS(env(s), cache, 100*time.Millisecond)
+		if res.OOM {
+			t.Fatal("Prudence OOMed under the DoS flood")
+		}
+		if res.Cycles == 0 {
+			t.Fatal("no cycles completed")
+		}
+	})
+}
+
+func TestZeroElapsedRates(t *testing.T) {
+	if got := (workload.MicroResult{Pairs: 10}).PairsPerSec(); got != 0 {
+		t.Fatalf("zero-elapsed PairsPerSec = %v", got)
+	}
+	if got := (workload.AppResult{Transactions: 10}).TxnPerSec(); got != 0 {
+		t.Fatalf("zero-elapsed TxnPerSec = %v", got)
+	}
+}

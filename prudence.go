@@ -1,0 +1,494 @@
+// Package prudence is the public API of this repository: a user-space
+// reproduction of "Prudent Memory Reclamation in Procrastination-Based
+// Synchronization" (ASPLOS 2016) — the Prudence dynamic memory
+// allocator tightly integrated with an RCU grace-period engine, together
+// with the SLUB-model baseline it is evaluated against.
+//
+// A System is a simulated machine: a fixed-size paged memory arena, a
+// buddy page allocator, N virtual CPUs, an RCU engine, and one
+// allocator (Prudence or the SLUB baseline). Caches created from the
+// system hand out objects backed by real arena memory; FreeDeferred is
+// the paper's turnkey deferred-free API, safe against concurrent RCU
+// readers.
+//
+// Quickstart:
+//
+//	sys := prudence.New(prudence.Config{})
+//	defer sys.Close()
+//	cache := sys.NewCache("my-objects", 256)
+//	obj, _ := cache.Malloc(0)              // on CPU 0
+//	copy(obj.Bytes(), "hello")
+//	cache.FreeDeferred(0, obj)             // reclaimed after a grace period
+//
+// See examples/ for runnable programs and internal/bench for the
+// harness regenerating every figure of the paper.
+package prudence
+
+import (
+	"time"
+
+	"prudence/internal/alloc"
+	"prudence/internal/core"
+	"prudence/internal/ebr"
+	"prudence/internal/memarena"
+	"prudence/internal/pagealloc"
+	"prudence/internal/rcu"
+	"prudence/internal/rcuhash"
+	"prudence/internal/rculist"
+	"prudence/internal/rcutree"
+	"prudence/internal/slabcore"
+	"prudence/internal/slub"
+	"prudence/internal/stats"
+	"prudence/internal/vcpu"
+)
+
+// AllocatorKind selects which allocator a System uses.
+type AllocatorKind string
+
+// ReclamationKind selects the procrastination-based synchronization
+// mechanism detecting reader completion.
+type ReclamationKind string
+
+// Available reclamation schemes.
+const (
+	// RCU detects reader completion through context-switch quiescent
+	// states (the paper's evaluated mechanism). Workload loops should
+	// call QuiescentState between operations.
+	RCU ReclamationKind = "rcu"
+	// EBR detects reader completion through epochs pinned by read-side
+	// critical sections; no quiescent-state calls are needed.
+	EBR ReclamationKind = "ebr"
+)
+
+// Available allocators.
+const (
+	// Prudence is the paper's contribution: deferred objects are
+	// visible to and reclaimed by the allocator (latent caches/slabs).
+	Prudence AllocatorKind = "prudence"
+	// SLUB is the baseline: deferred frees go through RCU callbacks and
+	// are invisible to the allocator until processed.
+	SLUB AllocatorKind = "slub"
+)
+
+// Config configures a System. The zero value gives a Prudence system
+// with 8 virtual CPUs and a 64 MiB arena.
+type Config struct {
+	// Allocator selects Prudence (default) or the SLUB baseline.
+	Allocator AllocatorKind
+	// CPUs is the number of virtual CPUs (default 8).
+	CPUs int
+	// MemoryPages is the arena size in 4 KiB pages (default 16384,
+	// i.e. 64 MiB).
+	MemoryPages int
+	// GracePeriodInterval is the minimum gap between RCU grace periods
+	// (default 500µs).
+	GracePeriodInterval time.Duration
+	// CallbackBatch bounds RCU callback batches for the SLUB baseline
+	// (default 10, the kernel's blimit).
+	CallbackBatch int
+	// CallbackDelay is the pause between callback batches (default
+	// 200µs).
+	CallbackDelay time.Duration
+	// DisableOptimizations turns off all of Prudence's hint-based
+	// optimizations (for ablation; Prudence allocator only).
+	DisableOptimizations bool
+	// Reclamation selects the synchronization mechanism (default RCU).
+	// EBR is only available with the Prudence allocator: the baseline's
+	// deferred frees are RCU callbacks by definition.
+	Reclamation ReclamationKind
+}
+
+// PageSize is the size of one simulated page frame.
+const PageSize = memarena.PageSize
+
+// ErrOutOfMemory is returned by Malloc when the simulated machine's
+// memory is exhausted.
+var ErrOutOfMemory = pagealloc.ErrOutOfMemory
+
+// readSync unifies the two engines' surfaces used by the facade.
+type readSync interface {
+	rculist.ReadSync
+	Synchronize()
+	GPsCompleted() uint64
+}
+
+// System is a simulated machine with one allocator.
+type System struct {
+	arena   *memarena.Arena
+	pages   *pagealloc.Allocator
+	machine *vcpu.Machine
+	rcu     *rcu.RCU // nil when Reclamation is EBR
+	ebr     *ebr.EBR // nil when Reclamation is RCU
+	sync    readSync
+	alloc   alloc.Allocator
+}
+
+// New builds and starts a System.
+func New(cfg Config) *System {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 8
+	}
+	if cfg.MemoryPages <= 0 {
+		cfg.MemoryPages = 16384
+	}
+	if cfg.Allocator == "" {
+		cfg.Allocator = Prudence
+	}
+	if cfg.Reclamation == "" {
+		cfg.Reclamation = RCU
+	}
+	s := &System{}
+	s.arena = memarena.New(cfg.MemoryPages)
+	s.pages = pagealloc.New(s.arena)
+	s.machine = vcpu.NewMachine(cfg.CPUs)
+	var gp core.GracePeriods
+	switch cfg.Reclamation {
+	case RCU:
+		s.rcu = rcu.New(s.machine, rcu.Options{
+			Blimit:        cfg.CallbackBatch,
+			ThrottleDelay: cfg.CallbackDelay,
+			MinGPInterval: cfg.GracePeriodInterval,
+		})
+		s.sync = s.rcu
+		gp = s.rcu
+	case EBR:
+		s.ebr = ebr.New(s.machine, ebr.Options{
+			AdvanceInterval: cfg.GracePeriodInterval / 2,
+		})
+		s.sync = s.ebr
+		gp = s.ebr
+	default:
+		panic("prudence: unknown reclamation kind " + string(cfg.Reclamation))
+	}
+	switch cfg.Allocator {
+	case SLUB:
+		if cfg.Reclamation != RCU {
+			panic("prudence: the SLUB baseline requires RCU (its deferred frees are RCU callbacks)")
+		}
+		s.alloc = slub.New(s.pages, s.rcu, cfg.CPUs)
+	case Prudence:
+		opts := core.Options{}
+		if cfg.DisableOptimizations {
+			opts = core.Options{
+				DisablePartialRefill: true,
+				DisablePreFlush:      true,
+				DisablePreMove:       true,
+				DisableSlabSelection: true,
+			}
+		}
+		s.alloc = core.New(s.pages, gp, s.machine, opts)
+	default:
+		panic("prudence: unknown allocator kind " + string(cfg.Allocator))
+	}
+	return s
+}
+
+// Close stops the System's background goroutines.
+func (s *System) Close() {
+	if s.rcu != nil {
+		s.rcu.Stop()
+	}
+	if s.ebr != nil {
+		s.ebr.Stop()
+	}
+	s.machine.Stop()
+}
+
+// NumCPU returns the number of virtual CPUs.
+func (s *System) NumCPU() int { return s.machine.NumCPU() }
+
+// AllocatorName reports which allocator backs this system.
+func (s *System) AllocatorName() string { return s.alloc.Name() }
+
+// UsedBytes returns the simulated physical memory currently in use.
+func (s *System) UsedBytes() int64 { return s.arena.UsedBytes() }
+
+// TotalBytes returns the simulated physical memory capacity.
+func (s *System) TotalBytes() int64 { return s.arena.Bytes() }
+
+// RunOnAllCPUs invokes fn concurrently on every virtual CPU, marking
+// each CPU RCU-active for the duration, and waits for completion. fn
+// must use the given cpu id for all allocator and RCU calls.
+func (s *System) RunOnAllCPUs(fn func(cpu int)) {
+	s.machine.RunOnAll(func(c *vcpu.CPU) {
+		id := c.ID()
+		if s.rcu != nil {
+			s.rcu.ExitIdle(id)
+			defer s.rcu.EnterIdle(id)
+		}
+		fn(id)
+	})
+}
+
+// ReadLock enters an RCU read-side critical section on cpu. The caller
+// must own the CPU (be inside RunOnAllCPUs for that id, or otherwise
+// guarantee exclusive use).
+func (s *System) ReadLock(cpu int) { s.sync.ReadLock(cpu) }
+
+// ReadUnlock leaves the read-side critical section on cpu.
+func (s *System) ReadUnlock(cpu int) { s.sync.ReadUnlock(cpu) }
+
+// QuiescentState reports a context-switch-equivalent point on cpu;
+// RCU-backed loops should call it between operations. Under EBR it is a
+// no-op (epochs need no quiescent states).
+func (s *System) QuiescentState(cpu int) {
+	if s.rcu != nil {
+		s.rcu.QuiescentState(cpu)
+	}
+}
+
+// Synchronize blocks until a full RCU grace period has elapsed.
+func (s *System) Synchronize() { s.sync.Synchronize() }
+
+// GracePeriods returns the number of grace periods completed.
+func (s *System) GracePeriods() uint64 { return s.sync.GPsCompleted() }
+
+// Object is a handle to allocated memory inside the simulated arena.
+type Object struct {
+	ref slabcore.Ref
+}
+
+// IsZero reports whether the Object is the invalid zero handle.
+func (o Object) IsZero() bool { return o.ref.IsZero() }
+
+// Bytes returns the object's memory. The slice aliases arena memory and
+// must not be used after the object is freed (after a deferred free it
+// may be read until the surrounding read-side critical section ends,
+// per RCU rules).
+func (o Object) Bytes() []byte { return o.ref.Bytes() }
+
+// CacheStats is a snapshot of a cache's counters, matching the
+// attributes reported in the paper's evaluation.
+type CacheStats = stats.AllocSnapshot
+
+// Cache is a named pool of fixed-size objects.
+type Cache struct {
+	c   alloc.Cache
+	sys *System
+}
+
+// NewCache creates a slab cache with SLUB-style default sizing for the
+// object size.
+func (s *System) NewCache(name string, objectSize int) *Cache {
+	cfg := slabcore.DefaultConfig(name, objectSize, s.machine.NumCPU())
+	return &Cache{c: s.alloc.NewCache(cfg), sys: s}
+}
+
+// Name returns the cache name.
+func (c *Cache) Name() string { return c.c.Name() }
+
+// ObjectSize returns the object size in bytes.
+func (c *Cache) ObjectSize() int { return c.c.ObjectSize() }
+
+// Malloc allocates an object on the calling CPU.
+func (c *Cache) Malloc(cpu int) (Object, error) {
+	ref, err := c.c.Malloc(cpu)
+	return Object{ref: ref}, err
+}
+
+// Free immediately returns an object to the cache.
+func (c *Cache) Free(cpu int, o Object) { c.c.Free(cpu, o.ref) }
+
+// FreeDeferred defers the freeing of an object until every RCU reader
+// that might hold a reference has finished — the paper's Listing 2
+// turnkey API. The allocator (not the caller, not an RCU callback)
+// reclaims the memory at the right time.
+func (c *Cache) FreeDeferred(cpu int, o Object) { c.c.FreeDeferred(cpu, o.ref) }
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() CacheStats { return c.c.Counters().Snapshot() }
+
+// Fragmentation returns the paper's total fragmentation metric
+// (allocated bytes / requested bytes) with its components.
+func (c *Cache) Fragmentation() (ft float64, allocatedBytes, requestedBytes int64) {
+	return c.c.Fragmentation()
+}
+
+// Drain flushes all cached and deferred objects back to the arena,
+// waiting out grace periods as needed. Use at teardown or between
+// measurement phases.
+func (c *Cache) Drain() { c.c.Drain() }
+
+// List is an RCU-protected linked list (the paper's Figure 1 structure)
+// whose element payloads live in a Cache.
+type List struct{ l *rculist.List }
+
+// NewList creates an RCU-protected list backed by cache.
+func (s *System) NewList(cache *Cache) *List {
+	return &List{l: rculist.New(cache.c, s.sync)}
+}
+
+// Insert adds key with value at the head.
+func (l *List) Insert(cpu int, key uint64, value []byte) error {
+	return l.l.Insert(cpu, key, value)
+}
+
+// Lookup copies key's value into buf inside a read-side critical
+// section.
+func (l *List) Lookup(cpu int, key uint64, buf []byte) (int, bool) {
+	return l.l.Lookup(cpu, key, buf)
+}
+
+// Update performs the Figure 1 copy-update: new allocation, publish,
+// defer-free the old version.
+func (l *List) Update(cpu int, key uint64, value []byte) (bool, error) {
+	return l.l.Update(cpu, key, value)
+}
+
+// Delete unlinks key and defer-frees its payload.
+func (l *List) Delete(cpu int, key uint64) (bool, error) {
+	return l.l.Delete(cpu, key)
+}
+
+// Walk visits each element inside a read-side critical section.
+func (l *List) Walk(cpu int, fn func(key uint64, value []byte) bool) {
+	l.l.Walk(cpu, fn)
+}
+
+// Len returns the element count.
+func (l *List) Len() int { return l.l.Len() }
+
+// Map is an RCU-protected hash table over list buckets.
+type Map struct{ m *rcuhash.Map }
+
+// NewMap creates an RCU-protected hash map with the given power-of-two
+// bucket count, backed by cache.
+func (s *System) NewMap(cache *Cache, buckets int) *Map {
+	return &Map{m: rcuhash.New(cache.c, s.hashSync(), buckets)}
+}
+
+// hashSync returns the Sync surface rcuhash needs from whichever engine
+// backs this system.
+func (s *System) hashSync() rcuhash.Sync {
+	if s.rcu != nil {
+		return s.rcu
+	}
+	return s.ebr
+}
+
+// Put inserts or copy-updates key.
+func (m *Map) Put(cpu int, key uint64, value []byte) error {
+	return m.m.Put(cpu, key, value)
+}
+
+// Get copies key's value into buf inside a read-side critical section.
+func (m *Map) Get(cpu int, key uint64, buf []byte) (int, bool) {
+	return m.m.Get(cpu, key, buf)
+}
+
+// Delete removes key, defer-freeing its payload.
+func (m *Map) Delete(cpu int, key uint64) (bool, error) {
+	return m.m.Delete(cpu, key)
+}
+
+// ForEach visits every entry.
+func (m *Map) ForEach(cpu int, fn func(key uint64, value []byte) bool) {
+	m.m.ForEach(cpu, fn)
+}
+
+// Resize rebuilds the table with a new power-of-two bucket count.
+func (m *Map) Resize(cpu, buckets int) error { return m.m.Resize(cpu, buckets) }
+
+// Len returns the entry count.
+func (m *Map) Len() int { return m.m.Len() }
+
+// Buckets returns the current bucket count.
+func (m *Map) Buckets() int { return m.m.Buckets() }
+
+// Tree is an RCU-protected ordered map (a copy-on-update treap, the
+// §3.1 structure whose rebalancing defers multiple objects per update).
+type Tree struct{ t *rcutree.Tree }
+
+// NewTree creates an RCU-protected ordered map backed by cache.
+func (s *System) NewTree(cache *Cache) *Tree {
+	return &Tree{t: rcutree.New(cache.c, s.sync)}
+}
+
+// Put inserts or copy-updates key; the rebuilt path's old payloads are
+// defer-freed.
+func (t *Tree) Put(cpu int, key uint64, value []byte) error {
+	return t.t.Put(cpu, key, value)
+}
+
+// Get copies key's value into buf inside a read-side critical section.
+func (t *Tree) Get(cpu int, key uint64, buf []byte) (int, bool) {
+	return t.t.Get(cpu, key, buf)
+}
+
+// Delete removes key, defer-freeing its payload and the rebuilt path's.
+func (t *Tree) Delete(cpu int, key uint64) (bool, error) {
+	return t.t.Delete(cpu, key)
+}
+
+// Range visits keys in [from, to] in ascending order.
+func (t *Tree) Range(cpu int, from, to uint64, fn func(key uint64, value []byte) bool) {
+	t.t.Range(cpu, from, to, fn)
+}
+
+// Min returns the smallest key, if any.
+func (t *Tree) Min(cpu int) (uint64, bool) { return t.t.Min(cpu) }
+
+// Max returns the largest key, if any.
+func (t *Tree) Max(cpu int) (uint64, bool) { return t.t.Max(cpu) }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.t.Len() }
+
+// Kmalloc is a size-class allocation front (kmalloc-64 … kmalloc-4096)
+// like the kernel's kmalloc, routing each request to the smallest class
+// that fits.
+type Kmalloc struct {
+	k   *alloc.Kmalloc
+	sys *System
+}
+
+// NewKmalloc creates the kmalloc size-class caches on this system.
+func (s *System) NewKmalloc() *Kmalloc {
+	return &Kmalloc{k: alloc.NewKmalloc(s.alloc, s.machine.NumCPU()), sys: s}
+}
+
+// Malloc allocates size bytes on cpu. The returned object's Bytes() is
+// the full size class, which may exceed the request.
+func (k *Kmalloc) Malloc(cpu, size int) (Object, error) {
+	ref, err := k.k.Malloc(cpu, size)
+	return Object{ref: ref}, err
+}
+
+// Free immediately returns an object allocated by this front.
+func (k *Kmalloc) Free(cpu int, o Object) { k.k.Free(cpu, o.ref) }
+
+// FreeDeferred defers the freeing of an object allocated by this front
+// until a grace period has elapsed.
+func (k *Kmalloc) FreeDeferred(cpu int, o Object) { k.k.FreeDeferred(cpu, o.ref) }
+
+// Drain flushes all size-class caches back to the arena.
+func (k *Kmalloc) Drain() {
+	for _, c := range k.k.Caches() {
+		c.Drain()
+	}
+}
+
+// DebugConfig selects allocator debugging features (SLUB_DEBUG-style).
+type DebugConfig = slabcore.DebugConfig
+
+// Debugger inspects a debug-enabled cache: red-zone scans and leak
+// reports.
+type Debugger struct{ d *slabcore.Debugger }
+
+// EnableDebug attaches red zones and/or allocation owner tracking to
+// the cache. Red zones change the object layout, so they must be
+// enabled before the cache's first allocation.
+func (c *Cache) EnableDebug(cfg DebugConfig) *Debugger {
+	type enabler interface {
+		EnableDebug(slabcore.DebugConfig) *slabcore.Debugger
+	}
+	return &Debugger{d: c.c.(enabler).EnableDebug(cfg)}
+}
+
+// CheckRedZones scans all guard bytes and returns descriptions of
+// corrupted objects (empty when clean).
+func (d *Debugger) CheckRedZones() []string { return d.d.CheckRedZones() }
+
+// Leaks reports objects allocated but never freed, attributed to the
+// allocating CPU.
+func (d *Debugger) Leaks() string { return d.d.Leaks().String() }
