@@ -33,12 +33,16 @@ func main() {
 		txns    = flag.Int("txns", 1500, "application transactions per CPU (figs 7-13)")
 		repeats = flag.Int("repeats", 3, "application comparison repeats; figure 13 reports medians")
 		dosMs   = flag.Int("dos-ms", 1500, "DoS attack duration in milliseconds")
+		metrics = flag.Bool("metrics", false, "dump each stack's Prometheus metrics on teardown")
 	)
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.CPUs = *cpus
 	cfg.ArenaPages = *pages
+	if *metrics {
+		cfg.MetricsTo = os.Stdout
+	}
 
 	run := func(name string, fn func() error) {
 		start := time.Now()

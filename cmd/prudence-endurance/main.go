@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		cpus    = flag.Int("cpus", 8, "virtual CPUs")
-		pages   = flag.Int("pages", 4096, "arena size in 4 KiB pages")
-		updates = flag.Int("updates", 60000, "list updates per CPU")
-		size    = flag.Int("objsize", 512, "object size in bytes (paper: 512)")
-		sample  = flag.Duration("sample", time.Millisecond, "used-memory sampling period")
-		pace    = flag.Duration("pace", time.Microsecond, "pause per update (0 = flat out)")
-		csvPath = flag.String("csv", "", "write used-memory series CSV to this file")
+		cpus         = flag.Int("cpus", 8, "virtual CPUs")
+		pages        = flag.Int("pages", 4096, "arena size in 4 KiB pages")
+		updates      = flag.Int("updates", 60000, "list updates per CPU")
+		size         = flag.Int("objsize", 512, "object size in bytes (paper: 512)")
+		sample       = flag.Duration("sample", time.Millisecond, "used-memory sampling period")
+		pace         = flag.Duration("pace", time.Microsecond, "pause per update (0 = flat out)")
+		csvPath      = flag.String("csv", "", "write used-memory series CSV to this file")
+		metricsEvery = flag.Duration("metrics-every", 0, "dump Prometheus metrics to stderr at this period during the run (0 = off)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,10 @@ func main() {
 	f3.ObjectSize = *size
 	f3.SampleEvery = *sample
 	f3.PacePerUpdate = *pace
+	if *metricsEvery > 0 {
+		cfg.MetricsTo = os.Stderr
+		f3.MetricsEvery = *metricsEvery
+	}
 
 	res, err := bench.RunFig3(cfg, f3)
 	if err != nil {

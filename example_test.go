@@ -9,7 +9,7 @@ import (
 // The paper's Listing 2 in miniature: defer-free an object through the
 // allocator; it becomes reusable after one grace period.
 func Example() {
-	sys := prudence.New(prudence.Config{CPUs: 2, MemoryPages: 1024})
+	sys := prudence.MustNew(prudence.Config{CPUs: 2, MemoryPages: 1024})
 	defer sys.Close()
 
 	cache := sys.NewCache("objects", 128)
@@ -30,7 +30,7 @@ func Example() {
 // An RCU-protected map: Put copy-updates (defer-freeing the replaced
 // payload), Get reads wait-free inside a read-side critical section.
 func ExampleSystem_NewMap() {
-	sys := prudence.New(prudence.Config{CPUs: 2, MemoryPages: 1024})
+	sys := prudence.MustNew(prudence.Config{CPUs: 2, MemoryPages: 1024})
 	defer sys.Close()
 
 	cache := sys.NewCache("route", 64)
@@ -48,7 +48,7 @@ func ExampleSystem_NewMap() {
 // The ordered tree defers several objects per update — the paper's
 // §3.1 rebalancing pattern.
 func ExampleSystem_NewTree() {
-	sys := prudence.New(prudence.Config{CPUs: 2, MemoryPages: 2048})
+	sys := prudence.MustNew(prudence.Config{CPUs: 2, MemoryPages: 2048})
 	defer sys.Close()
 
 	cache := sys.NewCache("index", 64)
@@ -67,7 +67,7 @@ func ExampleSystem_NewTree() {
 // Epoch-based reclamation as the synchronization mechanism: the same
 // allocator and structures, no quiescent states needed.
 func ExampleConfig_ebr() {
-	sys := prudence.New(prudence.Config{
+	sys := prudence.MustNew(prudence.Config{
 		CPUs:        2,
 		MemoryPages: 1024,
 		Reclamation: prudence.EBR,

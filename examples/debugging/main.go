@@ -11,11 +11,14 @@ import (
 )
 
 func main() {
-	sys := prudence.New(prudence.Config{CPUs: 4, MemoryPages: 2048})
+	sys := prudence.MustNew(prudence.Config{CPUs: 4, MemoryPages: 2048})
 	defer sys.Close()
 
 	cache := sys.NewCache("session", 192)
-	dbg := cache.EnableDebug(prudence.DebugConfig{RedZone: true, TrackOwners: true})
+	dbg, err := cache.EnableDebug(prudence.DebugConfig{RedZone: true, TrackOwners: true})
+	if err != nil {
+		panic(err)
+	}
 
 	// A workload that "forgets" some frees.
 	sys.RunOnAllCPUs(func(cpu int) {

@@ -15,7 +15,7 @@ import (
 
 func attack(kind prudence.AllocatorKind, duration time.Duration) (survived bool, cycles int64, peakPct float64) {
 	// A small machine (8 MiB) so the attack resolves in about a second.
-	sys := prudence.New(prudence.Config{
+	sys := prudence.MustNew(prudence.Config{
 		Allocator:     kind,
 		CPUs:          4,
 		MemoryPages:   2048,

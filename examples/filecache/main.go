@@ -21,7 +21,7 @@ type fileObjs struct {
 }
 
 func run(kind prudence.AllocatorKind) (txnPerSec float64, report func()) {
-	sys := prudence.New(prudence.Config{Allocator: kind, CPUs: 8, MemoryPages: 16384})
+	sys := prudence.MustNew(prudence.Config{Allocator: kind, CPUs: 8, MemoryPages: 16384})
 	dentry := sys.NewCache("dentry", 192)
 	inode := sys.NewCache("ext4_inode", 1024)
 	filp := sys.NewCache("filp", 256)

@@ -24,7 +24,7 @@ func meta(ino uint64, size uint64) []byte {
 }
 
 func main() {
-	sys := prudence.New(prudence.Config{CPUs: 8, MemoryPages: 8192})
+	sys := prudence.MustNew(prudence.Config{CPUs: 8, MemoryPages: 8192})
 	defer sys.Close()
 
 	cache := sys.NewCache("inode_meta", metaSize)

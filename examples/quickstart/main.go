@@ -5,14 +5,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"prudence"
 )
 
 func main() {
 	// A Prudence-backed machine: 4 virtual CPUs, 16 MiB of simulated
-	// physical memory.
-	sys := prudence.New(prudence.Config{CPUs: 4, MemoryPages: 4096})
+	// physical memory. New validates the configuration and returns an
+	// error rather than panicking.
+	sys, err := prudence.New(prudence.Config{CPUs: 4, MemoryPages: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 
 	// A slab cache of 256-byte objects, like the kernel's filp cache.

@@ -25,7 +25,7 @@ func packRoute(nexthop uint32, version uint64) []byte {
 }
 
 func main() {
-	sys := prudence.New(prudence.Config{CPUs: 8, MemoryPages: 8192})
+	sys := prudence.MustNew(prudence.Config{CPUs: 8, MemoryPages: 8192})
 	defer sys.Close()
 
 	cache := sys.NewCache("route", routeSize)

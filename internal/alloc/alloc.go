@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"sort"
 
+	"prudence/internal/metrics"
 	"prudence/internal/slabcore"
 	"prudence/internal/stats"
+	"prudence/internal/trace"
 )
 
 // Cache is one slab cache: a named pool of fixed-size objects.
@@ -38,6 +40,9 @@ type Cache interface {
 	// free slabs to the page allocator. Used at end of run for
 	// accounting and teardown.
 	Drain()
+	// SetTrace attaches an event ring recording the cache's slow-path
+	// activity (nil detaches).
+	SetTrace(r *trace.Ring)
 }
 
 // Allocator constructs caches. One Allocator instance manages one
@@ -49,6 +54,80 @@ type Allocator interface {
 	NewCache(cfg slabcore.CacheConfig) Cache
 	// Caches returns all caches created so far.
 	Caches() []Cache
+	// RegisterMetrics registers the allocator's observability series
+	// (per-cache counters plus any allocator-specific gauges).
+	RegisterMetrics(r *metrics.Registry)
+}
+
+// cacheCounterFields maps one metric family onto each counter the paper
+// reports per cache (Figures 7-12).
+var cacheCounterFields = []struct {
+	name, help string
+	read       func(c *stats.AllocCounters) uint64
+}{
+	{"prudence_cache_allocs_total", "Allocation requests.",
+		func(c *stats.AllocCounters) uint64 { return c.Allocs.Load() }},
+	{"prudence_cache_hits_total", "Allocations served from the per-CPU object cache.",
+		func(c *stats.AllocCounters) uint64 { return c.CacheHits.Load() }},
+	{"prudence_cache_latent_hits_total", "Allocations served by merging safe latent objects (Prudence).",
+		func(c *stats.AllocCounters) uint64 { return c.LatentHits.Load() }},
+	{"prudence_cache_refills_total", "Object cache refill operations.",
+		func(c *stats.AllocCounters) uint64 { return c.Refills.Load() }},
+	{"prudence_cache_partial_refills_total", "Refills that were deliberately partial (Prudence).",
+		func(c *stats.AllocCounters) uint64 { return c.PartialFills.Load() }},
+	{"prudence_cache_flushes_total", "Object cache flush operations.",
+		func(c *stats.AllocCounters) uint64 { return c.Flushes.Load() }},
+	{"prudence_cache_preflushes_total", "Idle-time latent cache pre-flushes (Prudence).",
+		func(c *stats.AllocCounters) uint64 { return c.PreFlushes.Load() }},
+	{"prudence_cache_grows_total", "Slab cache grow operations.",
+		func(c *stats.AllocCounters) uint64 { return c.Grows.Load() }},
+	{"prudence_cache_shrinks_total", "Slab cache shrink operations.",
+		func(c *stats.AllocCounters) uint64 { return c.Shrinks.Load() }},
+	{"prudence_cache_frees_total", "Immediate frees.",
+		func(c *stats.AllocCounters) uint64 { return c.Frees.Load() }},
+	{"prudence_cache_deferred_frees_total", "Frees deferred for a grace period.",
+		func(c *stats.AllocCounters) uint64 { return c.DeferredFrees.Load() }},
+	{"prudence_cache_premoves_total", "Slab pre-movements between node lists (Prudence).",
+		func(c *stats.AllocCounters) uint64 { return c.PreMoves.Load() }},
+	{"prudence_cache_gp_waits_total", "Allocations that waited for a grace period (OOM delay).",
+		func(c *stats.AllocCounters) uint64 { return c.GPWaits.Load() }},
+	{"prudence_cache_oom_total", "Allocations that failed with out-of-memory.",
+		func(c *stats.AllocCounters) uint64 { return c.OOMs.Load() }},
+}
+
+// RegisterCacheMetrics registers the per-cache counter and gauge
+// families for allocator a. Samples are produced by enumerating
+// a.Caches() at scrape time, so caches created after registration are
+// picked up automatically and the allocation hot path pays nothing.
+func RegisterCacheMetrics(r *metrics.Registry, a Allocator) {
+	r.GaugeFunc("prudence_allocator_info", "Constant 1, labelled with the active allocator.",
+		func() float64 { return 1 }, metrics.L("allocator", a.Name()))
+	for _, f := range cacheCounterFields {
+		r.CollectCounters(f.name, f.help, func(emit metrics.Emit) {
+			for _, c := range a.Caches() {
+				emit(float64(f.read(c.Counters())), metrics.L("cache", c.Name()))
+			}
+		})
+	}
+	r.CollectGauges("prudence_cache_slabs", "Slabs currently allocated per cache.",
+		func(emit metrics.Emit) {
+			for _, c := range a.Caches() {
+				emit(float64(c.Counters().CurrentSlabs()), metrics.L("cache", c.Name()))
+			}
+		})
+	r.CollectGauges("prudence_cache_slabs_peak", "High-water mark of allocated slabs per cache.",
+		func(emit metrics.Emit) {
+			for _, c := range a.Caches() {
+				emit(float64(c.Counters().PeakSlabs()), metrics.L("cache", c.Name()))
+			}
+		})
+	r.CollectGauges("prudence_cache_fragmentation_ratio", "Total fragmentation F_T per cache (allocated/requested bytes).",
+		func(emit metrics.Emit) {
+			for _, c := range a.Caches() {
+				ft, _, _ := c.Fragmentation()
+				emit(ft, metrics.L("cache", c.Name()))
+			}
+		})
 }
 
 // KmallocSizes are the power-of-two size classes used by the general

@@ -14,11 +14,13 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"prudence/internal/alloc"
 	"prudence/internal/core"
 	"prudence/internal/memarena"
+	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
 	"prudence/internal/slub"
@@ -48,6 +50,9 @@ type Config struct {
 	// process more deferred objects as the memory pressure increases").
 	// Zero means the default of 3/4 of the arena; negative disables.
 	PressureWatermark int
+	// MetricsTo, when non-nil, receives a Prometheus-format dump of the
+	// stack's metrics registry when the stack is closed.
+	MetricsTo io.Writer
 }
 
 // DefaultConfig returns the machine used by the experiments: 8 virtual
@@ -79,11 +84,15 @@ type Stack struct {
 	Machine *vcpu.Machine
 	RCU     *rcu.RCU
 	Alloc   alloc.Allocator
+	// Reg collects every layer's metrics; WriteMetrics scrapes it.
+	Reg *metrics.Registry
+
+	metricsTo io.Writer
 }
 
 // NewStack builds a machine and allocator of the given kind.
 func NewStack(kind Kind, cfg Config) *Stack {
-	s := &Stack{Kind: kind}
+	s := &Stack{Kind: kind, metricsTo: cfg.MetricsTo}
 	s.Arena = memarena.New(cfg.ArenaPages)
 	s.Pages = pagealloc.New(s.Arena)
 	s.Machine = vcpu.NewMachine(cfg.CPUs)
@@ -103,7 +112,17 @@ func NewStack(kind Kind, cfg Config) *Stack {
 	default:
 		panic(fmt.Sprintf("bench: unknown allocator kind %q", kind))
 	}
+	s.Reg = metrics.NewRegistry()
+	s.Pages.RegisterMetrics(s.Reg)
+	s.RCU.RegisterMetrics(s.Reg)
+	s.Alloc.RegisterMetrics(s.Reg)
+	s.Machine.RegisterMetrics(s.Reg)
 	return s
+}
+
+// WriteMetrics scrapes the stack's registry in Prometheus text format.
+func (s *Stack) WriteMetrics(w io.Writer) error {
+	return s.Reg.WritePrometheus(w)
 }
 
 // Env returns the workload environment view of the stack.
@@ -111,8 +130,13 @@ func (s *Stack) Env() workload.Env {
 	return workload.Env{Machine: s.Machine, RCU: s.RCU, Pages: s.Pages}
 }
 
-// Close tears the stack down.
+// Close tears the stack down, dumping the metrics registry first if the
+// config asked for it.
 func (s *Stack) Close() {
+	if s.metricsTo != nil {
+		fmt.Fprintf(s.metricsTo, "# stack %s final metrics\n", s.Kind)
+		s.WriteMetrics(s.metricsTo)
+	}
 	s.RCU.Stop()
 	s.Machine.Stop()
 }

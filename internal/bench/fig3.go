@@ -24,6 +24,10 @@ type Fig3Config struct {
 	// fit the arena for Prudence, while still exceeding the baseline's
 	// callback-processing rate.
 	PacePerUpdate time.Duration
+	// MetricsEvery, when positive and Config.MetricsTo is set, dumps
+	// the stack's metrics registry at this period during the run —
+	// the backlog/latency series behind Figure 3, live.
+	MetricsEvery time.Duration
 }
 
 // DefaultFig3Config scales the paper's 196-second, 252 GB run down to
@@ -102,12 +106,21 @@ func RunFig3(cfg Config, f3 Fig3Config) (Fig3Result, error) {
 			defer close(samplerDone)
 			tick := time.NewTicker(f3.SampleEvery)
 			defer tick.Stop()
+			var metricsTick <-chan time.Time
+			if f3.MetricsEvery > 0 && c.MetricsTo != nil {
+				mt := time.NewTicker(f3.MetricsEvery)
+				defer mt.Stop()
+				metricsTick = mt.C
+			}
 			for {
 				select {
 				case <-stopSampler:
 					return
 				case <-tick.C:
 					side.Series.Add(float64(s.Arena.UsedBytes()))
+				case <-metricsTick:
+					fmt.Fprintf(c.MetricsTo, "# stack %s periodic metrics\n", kind)
+					s.WriteMetrics(c.MetricsTo)
 				}
 			}
 		}()

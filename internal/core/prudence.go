@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"prudence/internal/alloc"
+	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
 	"prudence/internal/slabcore"
@@ -163,6 +164,21 @@ func (a *Allocator) Caches() []alloc.Cache {
 	return out
 }
 
+// RegisterMetrics implements alloc.Allocator: the shared per-cache
+// counter families plus the latent backlog depth, which is Prudence's
+// reclamation-lag signal (objects deferred but not yet reusable).
+func (a *Allocator) RegisterMetrics(r *metrics.Registry) {
+	alloc.RegisterCacheMetrics(r, a)
+	r.CollectGauges("prudence_cache_latent_objects", "Deferred objects parked in latent caches and latent slabs.",
+		func(emit metrics.Emit) {
+			for _, c := range a.Caches() {
+				if pc, ok := c.(*Cache); ok {
+					emit(float64(pc.LatentTotal()), metrics.L("cache", pc.Name()))
+				}
+			}
+		})
+}
+
 // latentObj is one deferred object in a latent cache.
 type latentObj struct {
 	ref    slabcore.Ref
@@ -264,7 +280,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			return r, nil
 		}
 		// Lines 8-11: merge safe latent objects and retry.
-		if c.mergeCaches(cl) > 0 {
+		if n := c.mergeCaches(cl); n > 0 {
+			c.base.Trace(trace.KindMerge, cpu, int64(n), 0)
 			if r := cl.objs.TryGet(); !r.IsZero() {
 				cl.objs.Mu.Unlock()
 				ctr.LatentHits.Add(1)
@@ -289,6 +306,7 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		node := c.base.NodeFor(cpu)
 		_, err := c.base.NewSlab(node)
 		if err == nil {
+			c.base.Trace(trace.KindGrow, cpu, 1, 0)
 			c.refill(cpu, cl)
 			r := cl.objs.TryGet()
 			cl.objs.Mu.Unlock()
@@ -312,6 +330,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// deferred objects are pending somewhere; they become
 		// reallocatable once it elapses.
 		if c.alloc.opts.DisableOOMDelay || c.latentTotal.Load() == 0 {
+			ctr.OOMs.Add(1)
+			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, err
 		}
 		ctr.GPWaits.Add(1)
@@ -320,6 +340,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// i.e. context-switched) so the grace period it is waiting for
 		// can actually complete.
 		if !c.alloc.rcu.WaitElapsedOn(cpu, c.alloc.rcu.Snapshot()) {
+			ctr.OOMs.Add(1)
+			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, err
 		}
 		// Reconcile latent slabs across the nodes so freed-up slabs can
@@ -569,6 +591,7 @@ func (c *Cache) flushLocked(cpu int, cl *cpuLocal) {
 		return
 	}
 	c.base.Ctr.Flushes.Add(1)
+	c.base.Trace(trace.KindFlush, cpu, int64(len(victims)), 0)
 	c.releaseToSlabs(victims)
 }
 
@@ -661,6 +684,7 @@ func (c *Cache) putLatentSlab(r slabcore.Ref, cookie rcu.Cookie) {
 		if want != r.Slab.List() {
 			node.Move(r.Slab, want)
 			c.base.Ctr.PreMoves.Add(1)
+			c.base.Trace(trace.KindPreMove, -1, int64(want), 0)
 		}
 	}
 	freeOver := node.FreeSlabs() > c.shrinkLimit()
@@ -686,8 +710,11 @@ func (c *Cache) maybeShrink(node *slabcore.Node) {
 			break
 		}
 	}
-	_, promoted := c.base.ShrinkNode(node, c.shrinkLimit(), c.elapsed)
+	freed, promoted := c.base.ShrinkNode(node, c.shrinkLimit(), c.elapsed)
 	c.latentTotal.Add(int64(-promoted))
+	if freed > 0 {
+		c.base.Trace(trace.KindShrink, -1, int64(freed), 0)
+	}
 }
 
 // armPreflush schedules an idle-time pre-flush for this CPU if one is
@@ -741,6 +768,7 @@ func (c *Cache) preflush(cpu int) {
 		cl.objs.Mu.Unlock()
 
 		c.base.Ctr.PreFlushes.Add(1)
+		c.base.Trace(trace.KindPreFlush, cpu, int64(batch), 0)
 		c.spillLatentBatch(moved)
 	}
 }
@@ -769,6 +797,7 @@ func (c *Cache) spillLatentBatch(entries []latentObj) {
 				if want != s.List() {
 					node.Move(s, want)
 					c.base.Ctr.PreMoves.Add(1)
+					c.base.Trace(trace.KindPreMove, -1, int64(want), 0)
 				}
 			}
 		}

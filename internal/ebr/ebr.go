@@ -22,7 +22,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prudence/internal/metrics"
 	"prudence/internal/rcu"
+	"prudence/internal/stats"
 	"prudence/internal/vcpu"
 )
 
@@ -64,6 +66,7 @@ type EBR struct {
 
 	epoch  atomic.Uint64 // global epoch counter
 	needGP atomic.Bool
+	gpHist stats.Histogram // latency of each two-advance grace period
 
 	gpMu   sync.Mutex
 	gpCond *sync.Cond
@@ -220,6 +223,7 @@ func (e *EBR) advancer() {
 	timer := time.NewTimer(e.opts.AdvanceInterval)
 	defer timer.Stop()
 	last := time.Now()
+	pairStart := last
 	for {
 		if !e.needGP.Load() {
 			select {
@@ -262,12 +266,37 @@ func (e *EBR) advancer() {
 		// Demand is cleared only every second advance (a full grace
 		// period); odd advances immediately continue.
 		if (cur+1)%2 == 0 {
+			e.gpHist.Observe(last.Sub(pairStart))
 			e.needGP.Store(false)
+		} else {
+			pairStart = last
 		}
 		e.gpMu.Lock()
 		e.gpCond.Broadcast()
 		e.gpMu.Unlock()
 	}
+}
+
+// RegisterMetrics registers the epoch engine's observability series. It
+// exports the same prudence_gp_* family names as internal/rcu, so
+// dashboards read identically over either grace-period provider.
+func (e *EBR) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("prudence_gp_completed_total", "Grace periods completed (epoch advances halved).",
+		func() float64 { return float64(e.GPsCompleted()) })
+	reg.RegisterHistogram("prudence_gp_duration_seconds",
+		"Latency of one grace period (two epoch advances).", &e.gpHist)
+	reg.GaugeFunc("prudence_ebr_epoch", "Current global epoch.",
+		func() float64 { return float64(e.Epoch()) })
+	reg.GaugeFunc("prudence_ebr_pinned_cpus", "CPUs currently pinning an epoch (inside a critical section).",
+		func() float64 {
+			n := 0
+			for _, cs := range e.percpu {
+				if cs.pinned.Load() != 0 {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 // ReadLock is an alias for Enter, letting the EBR engine satisfy the

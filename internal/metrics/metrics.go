@@ -1,0 +1,391 @@
+// Package metrics is the system-wide observability layer: a registry of
+// named metric families — counters, gauges and latency histograms —
+// that every subsystem (the allocators, the reclamation engines, the
+// page allocator, the vCPU machine) registers into, exported in
+// Prometheus exposition format and as a human-readable dump.
+//
+// The paper's entire evaluation is a story told through exactly these
+// quantities (refills, flushes, latent merges, pre-moves, grace-period
+// waits, callback backlogs), and operable reclamation schemes must
+// surface their reclamation lag continuously, not just in post-run
+// snapshots. Two design rules keep the layer free on the hot path:
+//
+//   - Hot-path counters that are written from many CPUs use Counter,
+//     which shards one cache-line-padded atomic per CPU; increments
+//     touch only the owning CPU's line and reads sum the shards.
+//   - Metrics that already exist as subsystem state (stats.AllocCounters
+//     fields, pagealloc counters, RCU engine counters) are registered as
+//     func-backed series read at scrape time, adding zero instructions
+//     to allocation and synchronization paths.
+//
+// Histograms reuse stats.Histogram, so the registry exports the same
+// log-bucketed distributions the benchmark harness reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prudence/internal/stats"
+)
+
+// Label is one name/value pair qualifying a series within a family.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind classifies a metric family for the exposition format.
+type Kind string
+
+// Family kinds, matching Prometheus TYPE values.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// counterShard pads each per-CPU slot to its own cache line pair so
+// concurrent increments from different CPUs never contend on a shared
+// line (128 bytes covers the spatial prefetcher's adjacent-line pairs).
+type counterShard struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// Counter is a monotonically increasing counter sharded per CPU.
+// Add/Inc are lock-free and touch only the calling CPU's shard; Value
+// sums the shards. Obtain counters from Registry.NewCounter.
+type Counter struct {
+	shards []counterShard
+}
+
+// Inc adds one on the calling CPU.
+func (c *Counter) Inc(cpu int) { c.Add(cpu, 1) }
+
+// Add adds n on the calling CPU. CPU ids outside [0, cpus) wrap, so a
+// counter is safe to use from auxiliary goroutines with any id.
+func (c *Counter) Add(cpu int, n uint64) {
+	c.shards[uint(cpu)%uint(len(c.shards))].v.Add(n)
+}
+
+// Value returns the sum over all shards.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Emit publishes one sample from a collector callback.
+type Emit func(value float64, labels ...Label)
+
+// Collector produces a family's samples at scrape time — the hook used
+// for series whose population is dynamic (one series per slab cache,
+// per buddy order, per CPU).
+type Collector func(emit Emit)
+
+// series is one fixed sample source within a family.
+type series struct {
+	labels []Label
+	read   func() float64   // counter/gauge kinds
+	hist   *stats.Histogram // histogram kind
+}
+
+// family is one named metric with help text and its sample sources.
+type family struct {
+	name, help string
+	kind       Kind
+	series     []*series
+	collectors []Collector
+}
+
+// Registry holds metric families in registration order. Registration
+// typically happens once at system construction; scraping may happen
+// concurrently with updates at any time.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// fam returns the named family, creating it on first use. Registering
+// the same name with a different kind is a programming error.
+func (r *Registry) fam(name, help string, kind Kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: family %q registered as %s and %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// NewCounter creates a per-CPU sharded counter with one shard per CPU,
+// not yet attached to any registry. Subsystems that are constructed
+// before the registry exists use this and attach the counter later with
+// Registry.RegisterCounter.
+func NewCounter(cpus int) *Counter {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &Counter{shards: make([]counterShard, cpus)}
+}
+
+// NewCounter registers and returns a per-CPU sharded counter with one
+// shard per CPU.
+func (r *Registry) NewCounter(name, help string, cpus int, labels ...Label) *Counter {
+	c := NewCounter(cpus)
+	r.RegisterCounter(name, help, c, labels...)
+	return c
+}
+
+// RegisterCounter registers an existing Counter as a series.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	f := r.fam(name, help, KindCounter)
+	f.series = append(f.series, &series{labels: labels, read: func() float64 { return float64(c.Value()) }})
+}
+
+// NewGauge registers and returns a settable gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	f := r.fam(name, help, KindGauge)
+	f.series = append(f.series, &series{labels: labels, read: func() float64 { return float64(g.Value()) }})
+	return g
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the zero-hot-path-cost mirror of an existing atomic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.fam(name, help, KindCounter)
+	f.series = append(f.series, &series{labels: labels, read: fn})
+}
+
+// GaugeFunc registers a gauge series computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.fam(name, help, KindGauge)
+	f.series = append(f.series, &series{labels: labels, read: fn})
+}
+
+// CollectCounters registers a collector producing the family's counter
+// samples at scrape time.
+func (r *Registry) CollectCounters(name, help string, c Collector) {
+	f := r.fam(name, help, KindCounter)
+	f.collectors = append(f.collectors, c)
+}
+
+// CollectGauges registers a collector producing the family's gauge
+// samples at scrape time.
+func (r *Registry) CollectGauges(name, help string, c Collector) {
+	f := r.fam(name, help, KindGauge)
+	f.collectors = append(f.collectors, c)
+}
+
+// NewHistogram registers and returns a latency histogram.
+func (r *Registry) NewHistogram(name, help string, labels ...Label) *stats.Histogram {
+	h := &stats.Histogram{}
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterHistogram registers an existing stats.Histogram as a series.
+func (r *Registry) RegisterHistogram(name, help string, h *stats.Histogram, labels ...Label) {
+	f := r.fam(name, help, KindHistogram)
+	f.series = append(f.series, &series{labels: labels, hist: h})
+}
+
+// histogramBounds are the bucket indices exported as Prometheus `le`
+// bounds: 2^i nanoseconds for each i, spanning 1µs to 67ms — the range
+// allocation paths and grace periods live in. stats.Histogram's bucket
+// j holds observations in [2^(j-1), 2^j) ns, so the cumulative count at
+// bound i is the sum of buckets 0..i.
+var histogramBounds = []int{10, 12, 14, 16, 18, 20, 22, 24, 26}
+
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {a="b",c="d"}, with extra appended last.
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// snapshot returns the families under the registry lock; family
+// contents are only appended to, so reading them afterwards is safe.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	return out
+}
+
+// WritePrometheus writes all families in Prometheus exposition text
+// format (text/plain; version=0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		emit := func(v float64, labels ...Label) {
+			if err != nil {
+				return
+			}
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(labels), formatValue(v))
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				if err = writeHistogram(w, f.name, s.labels, s.hist); err != nil {
+					return err
+				}
+				continue
+			}
+			emit(s.read(), s.labels...)
+		}
+		for _, c := range f.collectors {
+			c(emit)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one stats.Histogram as cumulative buckets plus
+// _sum and _count.
+func writeHistogram(w io.Writer, name string, labels []Label, h *stats.Histogram) error {
+	snap := h.Export()
+	var cum uint64
+	next := 0
+	for _, bound := range histogramBounds {
+		for next <= bound && next < len(snap.Buckets) {
+			cum += snap.Buckets[next]
+			next++
+		}
+		le := strconv.FormatFloat(float64(uint64(1)<<uint(bound))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, L("le", le)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, L("le", "+Inf")), snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels), formatValue(snap.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels), snap.Count)
+	return err
+}
+
+// String renders a compact human-readable dump: one line per sample,
+// histograms summarized by their quantiles.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		emit := func(v float64, labels ...Label) {
+			fmt.Fprintf(&b, "%-12s %s%s = %s\n", f.kind, f.name, labelString(labels), formatValue(v))
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				fmt.Fprintf(&b, "%-12s %s%s: %s\n", f.kind, f.name, labelString(s.labels), s.hist)
+				continue
+			}
+			emit(s.read(), s.labels...)
+		}
+		for _, c := range f.collectors {
+			c(emit)
+		}
+	}
+	return b.String()
+}
+
+// Gather returns every non-histogram sample as a flat map from
+// "name{labels}" to value — the programmatic read used by tests and
+// assertions on top of the exporter.
+func (r *Registry) Gather() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.snapshot() {
+		emit := func(v float64, labels ...Label) {
+			out[f.name+labelString(labels)] = v
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				snap := s.hist.Export()
+				out[f.name+"_count"+labelString(s.labels)] = float64(snap.Count)
+				out[f.name+"_sum"+labelString(s.labels)] = snap.Sum.Seconds()
+				continue
+			}
+			emit(s.read(), s.labels...)
+		}
+		for _, c := range f.collectors {
+			c(emit)
+		}
+	}
+	return out
+}
+
+// ObserveSince is a convenience for histogram timing call sites.
+func ObserveSince(h *stats.Histogram, start time.Time) {
+	h.Observe(time.Since(start))
+}

@@ -14,9 +14,11 @@ package pagealloc
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"prudence/internal/memarena"
+	"prudence/internal/metrics"
 )
 
 // MaxOrder is the largest supported allocation order: a single
@@ -233,6 +235,33 @@ func (a *Allocator) checkPressure() {
 	for _, fn := range subs {
 		fn(under)
 	}
+}
+
+// RegisterMetrics registers the buddy allocator's occupancy gauges and
+// activity counters. All series are func-backed reads of state the
+// allocator already maintains, so scraping is the only cost.
+func (a *Allocator) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("prudence_pages_free", "Pages currently free in the buddy allocator.",
+		func() float64 { return float64(a.FreePages()) })
+	r.GaugeFunc("prudence_pages_used", "Pages currently allocated from the arena.",
+		func() float64 { return float64(a.arena.UsedPages()) })
+	r.CounterFunc("prudence_page_allocs_total", "Successful page-run allocations.",
+		func() float64 { return float64(a.Stats().Allocs) })
+	r.CounterFunc("prudence_page_frees_total", "Page-run frees.",
+		func() float64 { return float64(a.Stats().Frees) })
+	r.CounterFunc("prudence_page_splits_total", "Buddy splits performed.",
+		func() float64 { return float64(a.Stats().Splits) })
+	r.CounterFunc("prudence_page_coalesces_total", "Buddy merges performed.",
+		func() float64 { return float64(a.Stats().Coalesces) })
+	r.CounterFunc("prudence_page_alloc_failures_total", "Allocations that returned out-of-memory.",
+		func() float64 { return float64(a.Stats().Failures) })
+	r.CollectGauges("prudence_pages_free_blocks", "Free blocks per buddy order.",
+		func(emit metrics.Emit) {
+			counts := a.FreeBlockCounts()
+			for o, n := range counts {
+				emit(float64(n), metrics.L("order", strconv.Itoa(o)))
+			}
+		})
 }
 
 // FreeBlockCounts returns, for each order, how many free blocks exist.

@@ -35,6 +35,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prudence/internal/metrics"
+	"prudence/internal/stats"
 	"prudence/internal/vcpu"
 )
 
@@ -161,7 +163,10 @@ type RCU struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 
-	qsReports        atomic.Uint64
+	// qsReports is hammered by every QuiescentState on every CPU, so it
+	// is per-CPU sharded rather than a shared atomic.
+	qsReports        *metrics.Counter
+	gpHist           stats.Histogram
 	cbInvoked        atomic.Uint64
 	cbQueued         atomic.Uint64
 	maxBacklog       atomic.Int64
@@ -175,11 +180,12 @@ type RCU struct {
 // entering read-side critical sections and EnterIdle when done.
 func New(machine *vcpu.Machine, opts Options) *RCU {
 	r := &RCU{
-		machine: machine,
-		opts:    opts.withDefaults(),
-		percpu:  make([]*cpuState, machine.NumCPU()),
-		kick:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
+		machine:   machine,
+		opts:      opts.withDefaults(),
+		percpu:    make([]*cpuState, machine.NumCPU()),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		qsReports: metrics.NewCounter(machine.NumCPU()),
 	}
 	r.gpCond = sync.NewCond(&r.gpMu)
 	for i := range r.percpu {
@@ -250,7 +256,7 @@ func (r *RCU) QuiescentState(cpu int) {
 		return
 	}
 	cs.qsSeq.Store(r.gpStarted.Load())
-	r.qsReports.Add(1)
+	r.qsReports.Inc(cpu)
 	r.runInlineCallbacks(cs)
 	// A context switch yields the CPU. Donating the core periodically
 	// keeps the grace-period driver and background workers scheduled
@@ -503,9 +509,46 @@ func (r *RCU) Stats() Stats {
 		MaxBacklog:       r.maxBacklog.Load(),
 		ExpeditedBatches: r.expeditedBatches.Load(),
 		ThrottledBatches: r.throttledBatches.Load(),
-		QuiescentReports: r.qsReports.Load(),
+		QuiescentReports: r.qsReports.Value(),
 		SynchronizeCalls: r.syncCalls.Load(),
 	}
+}
+
+// RegisterMetrics registers the engine's counters, the live callback
+// backlog, and the grace-period latency histogram. Everything except
+// the quiescent-report counter is a func-backed read of atomics the
+// engine already maintains.
+func (r *RCU) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("prudence_gp_started_total", "Grace periods started.",
+		func() float64 { return float64(r.gpStarted.Load()) })
+	reg.CounterFunc("prudence_gp_completed_total", "Grace periods completed.",
+		func() float64 { return float64(r.gpCompleted.Load()) })
+	reg.RegisterHistogram("prudence_gp_duration_seconds",
+		"Latency from grace-period start to completion.", &r.gpHist)
+	reg.CounterFunc("prudence_rcu_callbacks_queued_total", "Deferred-free callbacks registered via Call.",
+		func() float64 { return float64(r.cbQueued.Load()) })
+	reg.CounterFunc("prudence_rcu_callbacks_invoked_total", "Deferred-free callbacks invoked after their grace period.",
+		func() float64 { return float64(r.cbInvoked.Load()) })
+	reg.GaugeFunc("prudence_rcu_callback_backlog", "Callbacks queued but not yet invoked (reclamation lag).",
+		func() float64 { return float64(r.pending.Load()) })
+	reg.GaugeFunc("prudence_rcu_callback_backlog_peak", "High-water mark of the callback backlog.",
+		func() float64 { return float64(r.maxBacklog.Load()) })
+	reg.CounterFunc("prudence_rcu_expedited_batches_total", "Callback batches run expedited under memory pressure.",
+		func() float64 { return float64(r.expeditedBatches.Load()) })
+	reg.CounterFunc("prudence_rcu_throttled_batches_total", "Callback batches run at the throttled rate.",
+		func() float64 { return float64(r.throttledBatches.Load()) })
+	reg.RegisterCounter("prudence_rcu_quiescent_reports_total",
+		"Quiescent states reported (context switches observed).", r.qsReports)
+	reg.CounterFunc("prudence_rcu_synchronize_calls_total", "Blocking Synchronize calls.",
+		func() float64 { return float64(r.syncCalls.Load()) })
+	reg.GaugeFunc("prudence_rcu_callbacks_per_gp", "Mean callbacks invoked per completed grace period.",
+		func() float64 {
+			gps := r.gpCompleted.Load()
+			if gps == 0 {
+				return 0
+			}
+			return float64(r.cbInvoked.Load()) / float64(gps)
+		})
 }
 
 // gpDriver is the grace-period kthread analogue: it starts a grace
@@ -541,10 +584,12 @@ func (r *RCU) gpDriver() {
 		}
 		r.needGP.Store(false)
 		target := r.gpStarted.Add(1)
+		gpBegin := time.Now()
 		if !r.waitForQS(target) {
 			return // stopping
 		}
 		r.gpCompleted.Store(target)
+		r.gpHist.Observe(time.Since(gpBegin))
 		lastGP = time.Now()
 		r.gpMu.Lock()
 		r.gpCond.Broadcast()

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"prudence/internal/alloc"
+	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
 	"prudence/internal/slabcore"
@@ -67,6 +68,13 @@ func (a *Allocator) Caches() []alloc.Cache {
 	out := make([]alloc.Cache, len(a.caches))
 	copy(out, a.caches)
 	return out
+}
+
+// RegisterMetrics implements alloc.Allocator. SLUB's reclamation lag
+// (the RCU callback backlog) lives in the engine, which registers its
+// own series; only the shared per-cache families are added here.
+func (a *Allocator) RegisterMetrics(r *metrics.Registry) {
+	alloc.RegisterCacheMetrics(r, a)
 }
 
 // Cache is one SLUB slab cache.
@@ -127,8 +135,11 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		node := c.base.NodeFor(cpu)
 		if _, err := c.base.NewSlab(node); err != nil {
 			cc.Mu.Unlock()
+			ctr.OOMs.Add(1)
+			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, err
 		}
+		c.base.Trace(trace.KindGrow, cpu, 1, 0)
 		c.refill(cpu, cc)
 		r := cc.TryGet()
 		cc.Mu.Unlock()
@@ -138,6 +149,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			if attempt < 10 {
 				continue
 			}
+			ctr.OOMs.Add(1)
+			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, pagealloc.ErrOutOfMemory
 		}
 		c.base.UserAlloc()

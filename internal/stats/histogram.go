@@ -117,6 +117,30 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// HistogramSnapshot is an immutable copy of a Histogram's raw state.
+// Bucket i holds observations with bit length i nanoseconds, i.e. the
+// interval [2^(i-1), 2^i) ns, with bucket 0 counting zero durations.
+type HistogramSnapshot struct {
+	Buckets [64]uint64
+	Count   uint64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+}
+
+// Export snapshots the histogram for exporters (internal/metrics).
+func (h *Histogram) Export() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Buckets: h.buckets,
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	}
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d min=%v p50=%v p99=%v max=%v mean=%v",

@@ -30,6 +30,7 @@ type AllocCounters struct {
 	DeferredFrees atomic.Uint64 // frees deferred for a grace period
 	PreMoves      atomic.Uint64 // slab pre-movements between node lists (Prudence)
 	GPWaits       atomic.Uint64 // allocations that had to wait for a grace period (OOM delay)
+	OOMs          atomic.Uint64 // allocations that failed with out-of-memory
 
 	peakSlabs    atomic.Int64
 	currentSlabs atomic.Int64
@@ -76,6 +77,7 @@ type AllocSnapshot struct {
 	DeferredFrees uint64
 	PreMoves      uint64
 	GPWaits       uint64
+	OOMs          uint64
 	PeakSlabs     int
 	CurrentSlabs  int
 }
@@ -96,6 +98,7 @@ func (c *AllocCounters) Snapshot() AllocSnapshot {
 		DeferredFrees: c.DeferredFrees.Load(),
 		PreMoves:      c.PreMoves.Load(),
 		GPWaits:       c.GPWaits.Load(),
+		OOMs:          c.OOMs.Load(),
 		PeakSlabs:     c.PeakSlabs(),
 		CurrentSlabs:  c.CurrentSlabs(),
 	}
@@ -118,6 +121,7 @@ func (s AllocSnapshot) Sub(o AllocSnapshot) AllocSnapshot {
 		DeferredFrees: s.DeferredFrees - o.DeferredFrees,
 		PreMoves:      s.PreMoves - o.PreMoves,
 		GPWaits:       s.GPWaits - o.GPWaits,
+		OOMs:          s.OOMs - o.OOMs,
 		PeakSlabs:     s.PeakSlabs,
 		CurrentSlabs:  s.CurrentSlabs,
 	}

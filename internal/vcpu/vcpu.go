@@ -16,8 +16,12 @@ package vcpu
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"prudence/internal/metrics"
 )
 
 // CPU is a handle to one virtual CPU. The zero value is not usable;
@@ -30,6 +34,9 @@ type CPU struct {
 	idleQueue  []func()
 	idleWake   chan struct{}
 	idleActive atomic.Bool
+
+	idleBusyNanos atomic.Int64  // total time spent executing idle work
+	idleRuns      atomic.Uint64 // idle work items executed
 }
 
 // ID returns the CPU's index in [0, Machine.NumCPU()).
@@ -40,7 +47,8 @@ func (c *CPU) Machine() *Machine { return c.machine }
 
 // Machine is a fixed set of virtual CPUs.
 type Machine struct {
-	cpus []*CPU
+	cpus    []*CPU
+	started time.Time
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -53,7 +61,7 @@ func NewMachine(n int) *Machine {
 	if n <= 0 {
 		panic(fmt.Sprintf("vcpu: non-positive CPU count %d", n))
 	}
-	m := &Machine{stop: make(chan struct{})}
+	m := &Machine{stop: make(chan struct{}), started: time.Now()}
 	m.cpus = make([]*CPU, n)
 	for i := range m.cpus {
 		c := &CPU{id: i, machine: m, idleWake: make(chan struct{}, 1)}
@@ -95,6 +103,40 @@ func (m *Machine) RunOnAll(fn func(c *CPU)) {
 		}(c)
 	}
 	wg.Wait()
+}
+
+// RegisterMetrics registers per-CPU idle-worker activity and the
+// machine-wide idle ratio — the "idleness is not sloth" budget that
+// Prudence's pre-flush consumes (§4.2).
+func (m *Machine) RegisterMetrics(r *metrics.Registry) {
+	r.CollectCounters("prudence_vcpu_idle_work_seconds_total", "Time spent executing idle-worker items, per CPU.",
+		func(emit metrics.Emit) {
+			for _, c := range m.cpus {
+				emit(float64(c.idleBusyNanos.Load())/1e9, metrics.L("cpu", strconv.Itoa(c.id)))
+			}
+		})
+	r.CollectCounters("prudence_vcpu_idle_work_items_total", "Idle-worker items executed, per CPU.",
+		func(emit metrics.Emit) {
+			for _, c := range m.cpus {
+				emit(float64(c.idleRuns.Load()), metrics.L("cpu", strconv.Itoa(c.id)))
+			}
+		})
+	r.GaugeFunc("prudence_vcpu_idle_ratio", "Fraction of machine time not spent on idle work (1 = fully available).",
+		func() float64 {
+			elapsed := time.Since(m.started).Seconds() * float64(len(m.cpus))
+			if elapsed <= 0 {
+				return 1
+			}
+			var busy float64
+			for _, c := range m.cpus {
+				busy += float64(c.idleBusyNanos.Load()) / 1e9
+			}
+			ratio := 1 - busy/elapsed
+			if ratio < 0 {
+				return 0
+			}
+			return ratio
+		})
 }
 
 // ScheduleIdle queues fn to run on the CPU's idle worker. Work items run
@@ -147,7 +189,10 @@ func (c *CPU) idleLoop(wg *sync.WaitGroup, stop chan struct{}) {
 			c.idleMu.Unlock()
 
 			c.idleActive.Store(true)
+			start := time.Now()
 			runIdle(fn)
+			c.idleBusyNanos.Add(int64(time.Since(start)))
+			c.idleRuns.Add(1)
 			c.idleActive.Store(false)
 			// Idle work is low priority: yield between items so the
 			// foreground workload goroutine gets the core first.

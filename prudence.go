@@ -13,24 +13,35 @@
 //
 // Quickstart:
 //
-//	sys := prudence.New(prudence.Config{})
+//	sys, err := prudence.New(prudence.Config{})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	defer sys.Close()
 //	cache := sys.NewCache("my-objects", 256)
 //	obj, _ := cache.Malloc(0)              // on CPU 0
 //	copy(obj.Bytes(), "hello")
 //	cache.FreeDeferred(0, obj)             // reclaimed after a grace period
 //
+// Every System carries an always-on observability layer: call Metrics
+// for a human-readable dump or WriteMetrics for Prometheus exposition
+// text, and Trace for the system event ring recording slow-path
+// allocator activity.
+//
 // See examples/ for runnable programs and internal/bench for the
 // harness regenerating every figure of the paper.
 package prudence
 
 import (
+	"fmt"
+	"io"
 	"time"
 
 	"prudence/internal/alloc"
 	"prudence/internal/core"
 	"prudence/internal/ebr"
 	"prudence/internal/memarena"
+	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
 	"prudence/internal/rcuhash"
@@ -39,6 +50,7 @@ import (
 	"prudence/internal/slabcore"
 	"prudence/internal/slub"
 	"prudence/internal/stats"
+	"prudence/internal/trace"
 	"prudence/internal/vcpu"
 )
 
@@ -96,6 +108,35 @@ type Config struct {
 	// EBR is only available with the Prudence allocator: the baseline's
 	// deferred frees are RCU callbacks by definition.
 	Reclamation ReclamationKind
+	// TraceRingSize is the capacity of the system event ring attached to
+	// every cache (rounded up to a power of two). Zero uses the default
+	// of 4096 events; a negative value disables tracing entirely.
+	TraceRingSize int
+}
+
+// Validate reports the first configuration error, or nil if cfg (with
+// defaults applied for zero fields) describes a buildable System.
+func (cfg Config) Validate() error {
+	if cfg.CPUs < 0 {
+		return fmt.Errorf("prudence: negative CPU count %d", cfg.CPUs)
+	}
+	if cfg.MemoryPages < 0 {
+		return fmt.Errorf("prudence: negative arena size %d pages", cfg.MemoryPages)
+	}
+	switch cfg.Allocator {
+	case "", Prudence, SLUB:
+	default:
+		return fmt.Errorf("prudence: unknown allocator kind %q", cfg.Allocator)
+	}
+	switch cfg.Reclamation {
+	case "", RCU, EBR:
+	default:
+		return fmt.Errorf("prudence: unknown reclamation kind %q", cfg.Reclamation)
+	}
+	if cfg.Allocator == SLUB && cfg.Reclamation == EBR {
+		return fmt.Errorf("prudence: the SLUB baseline requires RCU (its deferred frees are RCU callbacks)")
+	}
+	return nil
 }
 
 // PageSize is the size of one simulated page frame.
@@ -105,10 +146,13 @@ const PageSize = memarena.PageSize
 // memory is exhausted.
 var ErrOutOfMemory = pagealloc.ErrOutOfMemory
 
-// readSync unifies the two engines' surfaces used by the facade.
+// readSync unifies the two engines' surfaces used by the facade. It is
+// a superset of rcuhash.Sync, so one field serves every RCU-protected
+// structure.
 type readSync interface {
 	rculist.ReadSync
 	Synchronize()
+	SynchronizeOn(cpu int)
 	GPsCompleted() uint64
 }
 
@@ -121,10 +165,16 @@ type System struct {
 	ebr     *ebr.EBR // nil when Reclamation is RCU
 	sync    readSync
 	alloc   alloc.Allocator
+	reg     *metrics.Registry
+	ring    *trace.Ring // nil when tracing is disabled
 }
 
-// New builds and starts a System.
-func New(cfg Config) *System {
+// New builds and starts a System. It returns an error for an invalid
+// configuration (see Config.Validate).
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.CPUs <= 0 {
 		cfg.CPUs = 8
 	}
@@ -137,10 +187,17 @@ func New(cfg Config) *System {
 	if cfg.Reclamation == "" {
 		cfg.Reclamation = RCU
 	}
-	s := &System{}
+	s := &System{reg: metrics.NewRegistry()}
 	s.arena = memarena.New(cfg.MemoryPages)
 	s.pages = pagealloc.New(s.arena)
 	s.machine = vcpu.NewMachine(cfg.CPUs)
+	if cfg.TraceRingSize >= 0 {
+		size := cfg.TraceRingSize
+		if size == 0 {
+			size = 4096
+		}
+		s.ring = trace.NewRing(size)
+	}
 	var gp core.GracePeriods
 	switch cfg.Reclamation {
 	case RCU:
@@ -157,14 +214,9 @@ func New(cfg Config) *System {
 		})
 		s.sync = s.ebr
 		gp = s.ebr
-	default:
-		panic("prudence: unknown reclamation kind " + string(cfg.Reclamation))
 	}
 	switch cfg.Allocator {
 	case SLUB:
-		if cfg.Reclamation != RCU {
-			panic("prudence: the SLUB baseline requires RCU (its deferred frees are RCU callbacks)")
-		}
 		s.alloc = slub.New(s.pages, s.rcu, cfg.CPUs)
 	case Prudence:
 		opts := core.Options{}
@@ -177,8 +229,26 @@ func New(cfg Config) *System {
 			}
 		}
 		s.alloc = core.New(s.pages, gp, s.machine, opts)
-	default:
-		panic("prudence: unknown allocator kind " + string(cfg.Allocator))
+	}
+	s.pages.RegisterMetrics(s.reg)
+	if s.rcu != nil {
+		s.rcu.RegisterMetrics(s.reg)
+	}
+	if s.ebr != nil {
+		s.ebr.RegisterMetrics(s.reg)
+	}
+	s.alloc.RegisterMetrics(s.reg)
+	s.machine.RegisterMetrics(s.reg)
+	return s, nil
+}
+
+// MustNew builds and starts a System, panicking on configuration error.
+// It is a convenience for tests and examples where the Config is a
+// literal known to be valid.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -243,6 +313,58 @@ func (s *System) Synchronize() { s.sync.Synchronize() }
 // GracePeriods returns the number of grace periods completed.
 func (s *System) GracePeriods() uint64 { return s.sync.GPsCompleted() }
 
+// Metrics returns a human-readable dump of every metric the system
+// exports: per-cache allocator counters, reclamation-engine activity,
+// page-allocator occupancy and vCPU idle-work accounting.
+func (s *System) Metrics() string { return s.reg.String() }
+
+// WriteMetrics writes the same metrics in Prometheus exposition text
+// format (text/plain; version=0.0.4), suitable for a /metrics endpoint.
+func (s *System) WriteMetrics(w io.Writer) error { return s.reg.WritePrometheus(w) }
+
+// TraceRing is a fixed-capacity event ring recording slow-path
+// allocator activity (refills, flushes, grows, shrinks, pre-moves,
+// merges, grace-period waits, OOMs). Recording is wait-free and rings
+// overwrite their oldest entries when full.
+type TraceRing struct{ r *trace.Ring }
+
+// NewTraceRing creates a standalone ring holding up to capacity events
+// (rounded up to a power of two, minimum 16) for use with
+// Cache.SetTrace.
+func NewTraceRing(capacity int) *TraceRing {
+	return &TraceRing{r: trace.NewRing(capacity)}
+}
+
+// Trace returns the system-wide event ring every cache records into by
+// default, or nil when the system was configured with a negative
+// TraceRingSize.
+func (s *System) Trace() *TraceRing {
+	if s.ring == nil {
+		return nil
+	}
+	return &TraceRing{r: s.ring}
+}
+
+// Dump renders the trailing max events, oldest first (all retained
+// events when max <= 0).
+func (t *TraceRing) Dump(max int) string { return t.r.Dump(max) }
+
+// Counts tallies the retained events by kind name.
+func (t *TraceRing) Counts() map[string]int {
+	out := make(map[string]int)
+	for k, n := range t.r.CountByKind() {
+		out[k.String()] = n
+	}
+	return out
+}
+
+// Len returns how many events have ever been recorded (not the number
+// retained).
+func (t *TraceRing) Len() int { return t.r.Len() }
+
+// Cap returns the ring's capacity.
+func (t *TraceRing) Cap() int { return t.r.Cap() }
+
 // Object is a handle to allocated memory inside the simulated arena.
 type Object struct {
 	ref slabcore.Ref
@@ -268,10 +390,25 @@ type Cache struct {
 }
 
 // NewCache creates a slab cache with SLUB-style default sizing for the
-// object size.
+// object size. The system's trace ring is attached unless tracing was
+// disabled; use SetTrace to attach a dedicated ring instead.
 func (s *System) NewCache(name string, objectSize int) *Cache {
 	cfg := slabcore.DefaultConfig(name, objectSize, s.machine.NumCPU())
-	return &Cache{c: s.alloc.NewCache(cfg), sys: s}
+	c := &Cache{c: s.alloc.NewCache(cfg), sys: s}
+	if s.ring != nil {
+		c.c.SetTrace(s.ring)
+	}
+	return c
+}
+
+// SetTrace attaches a dedicated event ring to this cache, replacing the
+// system-wide ring (nil detaches tracing from the cache entirely).
+func (c *Cache) SetTrace(t *TraceRing) {
+	if t == nil {
+		c.c.SetTrace(nil)
+		return
+	}
+	c.c.SetTrace(t.r)
 }
 
 // Name returns the cache name.
@@ -354,16 +491,7 @@ type Map struct{ m *rcuhash.Map }
 // NewMap creates an RCU-protected hash map with the given power-of-two
 // bucket count, backed by cache.
 func (s *System) NewMap(cache *Cache, buckets int) *Map {
-	return &Map{m: rcuhash.New(cache.c, s.hashSync(), buckets)}
-}
-
-// hashSync returns the Sync surface rcuhash needs from whichever engine
-// backs this system.
-func (s *System) hashSync() rcuhash.Sync {
-	if s.rcu != nil {
-		return s.rcu
-	}
-	return s.ebr
+	return &Map{m: rcuhash.New(cache.c, s.sync, buckets)}
 }
 
 // Put inserts or copy-updates key.
@@ -477,12 +605,19 @@ type Debugger struct{ d *slabcore.Debugger }
 
 // EnableDebug attaches red zones and/or allocation owner tracking to
 // the cache. Red zones change the object layout, so they must be
-// enabled before the cache's first allocation.
-func (c *Cache) EnableDebug(cfg DebugConfig) *Debugger {
+// enabled before the cache's first allocation. Both built-in allocators
+// (Prudence and SLUB) support debugging; an error is returned if the
+// cache's backing allocator does not.
+func (c *Cache) EnableDebug(cfg DebugConfig) (*Debugger, error) {
 	type enabler interface {
 		EnableDebug(slabcore.DebugConfig) *slabcore.Debugger
 	}
-	return &Debugger{d: c.c.(enabler).EnableDebug(cfg)}
+	e, ok := c.c.(enabler)
+	if !ok {
+		return nil, fmt.Errorf("prudence: allocator %q does not support debugging on cache %q",
+			c.sys.AllocatorName(), c.Name())
+	}
+	return &Debugger{d: e.EnableDebug(cfg)}, nil
 }
 
 // CheckRedZones scans all guard bytes and returns descriptions of

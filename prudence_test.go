@@ -11,7 +11,10 @@ import (
 
 func newSystem(t *testing.T, cfg prudence.Config) *prudence.System {
 	t.Helper()
-	sys := prudence.New(cfg)
+	sys, err := prudence.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(sys.Close)
 	return sys
 }
@@ -31,12 +34,28 @@ func TestDefaultsAndKinds(t *testing.T) {
 	if got := slubSys.AllocatorName(); got != "slub" {
 		t.Fatalf("slub system reports %q", got)
 	}
+	if _, err := prudence.New(prudence.Config{Allocator: prudence.AllocatorKind("bogus")}); err == nil {
+		t.Fatal("bogus allocator kind accepted")
+	}
+	if _, err := prudence.New(prudence.Config{Reclamation: prudence.ReclamationKind("bogus")}); err == nil {
+		t.Fatal("bogus reclamation kind accepted")
+	}
+	if _, err := prudence.New(prudence.Config{CPUs: -1}); err == nil {
+		t.Fatal("negative CPU count accepted")
+	}
+	if _, err := prudence.New(prudence.Config{MemoryPages: -1}); err == nil {
+		t.Fatal("negative arena size accepted")
+	}
+}
+
+// MustNew panics on the same configurations New rejects with an error.
+func TestMustNewPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("bogus allocator kind did not panic")
+			t.Fatal("MustNew with invalid config did not panic")
 		}
 	}()
-	prudence.New(prudence.Config{Allocator: prudence.AllocatorKind("bogus")})
+	prudence.MustNew(prudence.Config{Allocator: prudence.AllocatorKind("bogus")})
 }
 
 func TestCacheLifecycle(t *testing.T) {
@@ -381,19 +400,23 @@ func TestEBRBackedSystem(t *testing.T) {
 	}
 }
 
-func TestSLUBOverEBRPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("SLUB over EBR did not panic")
-		}
-	}()
-	prudence.New(prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR})
+func TestSLUBOverEBRRejected(t *testing.T) {
+	_, err := prudence.New(prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR})
+	if err == nil {
+		t.Fatal("SLUB over EBR accepted")
+	}
+	if err := (prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR}).Validate(); err == nil {
+		t.Fatal("Validate accepted SLUB over EBR")
+	}
 }
 
 func TestDebugFacade(t *testing.T) {
 	sys := newSystem(t, prudence.Config{CPUs: 2, MemoryPages: 512})
 	c := sys.NewCache("dbg", 128)
-	d := c.EnableDebug(prudence.DebugConfig{RedZone: true, TrackOwners: true})
+	d, err := c.EnableDebug(prudence.DebugConfig{RedZone: true, TrackOwners: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	o, err := c.Malloc(0)
 	if err != nil {
 		t.Fatal(err)
