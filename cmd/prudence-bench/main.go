@@ -9,12 +9,16 @@
 //	prudence-bench -exp fig6 -pairs 50000
 //	prudence-bench -exp fig3 -cpus 8 -pages 16384
 //	prudence-bench -exp apps -txns 2000     # figures 7-13 from one run
+//	prudence-bench -exp scaling -json out.json
+//	prudence-bench -exp fig6 -cpuprofile cpu.pb.gz -mutexprofile mtx.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,14 +30,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig6|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
 		cpus    = flag.Int("cpus", 8, "virtual CPUs")
 		pages   = flag.Int("pages", 16384, "arena size in 4 KiB pages")
-		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, ablation)")
+		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, scaling, ablation)")
+		size    = flag.Int("size", 512, "object size in bytes for the scaling sweep")
 		txns    = flag.Int("txns", 1500, "application transactions per CPU (figs 7-13)")
 		repeats = flag.Int("repeats", 3, "application comparison repeats; figure 13 reports medians")
 		dosMs   = flag.Int("dos-ms", 1500, "DoS attack duration in milliseconds")
 		metrics = flag.Bool("metrics", false, "dump each stack's Prometheus metrics on teardown")
+
+		jsonPath   = flag.String("json", "", "write machine-readable results (JSON records) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		blockProf  = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +53,47 @@ func main() {
 	if *metrics {
 		cfg.MetricsTo = os.Stdout
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProf)
+	}
+
+	var records []bench.Record
+	defer func() {
+		if *jsonPath == "" {
+			return
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteRecords(f, records); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	run := func(name string, fn func() error) {
 		start := time.Now()
@@ -72,6 +123,18 @@ func main() {
 				return err
 			}
 			fmt.Println(res.Table())
+			records = append(records, res.Records()...)
+			return nil
+		})
+	}
+	if want("scaling") {
+		run("scaling", func() error {
+			res, err := bench.RunScaling(cfg, *size, *pairs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			records = append(records, res.Records()...)
 			return nil
 		})
 	}
@@ -188,9 +251,23 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig6") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 apps fig7..fig13 cost dos ablation all\n", *exp)
+	if !want("fig6") && !want("scaling") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling apps fig7..fig13 cost dos ablation all\n", *exp)
 		os.Exit(2)
+	}
+}
+
+// writeProfile dumps a named runtime profile, for -mutexprofile and
+// -blockprofile.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
 	}
 }
 

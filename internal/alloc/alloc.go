@@ -66,11 +66,11 @@ var cacheCounterFields = []struct {
 	read       func(c *stats.AllocCounters) uint64
 }{
 	{"prudence_cache_allocs_total", "Allocation requests.",
-		func(c *stats.AllocCounters) uint64 { return c.Allocs.Load() }},
+		func(c *stats.AllocCounters) uint64 { return c.Allocs() }},
 	{"prudence_cache_hits_total", "Allocations served from the per-CPU object cache.",
-		func(c *stats.AllocCounters) uint64 { return c.CacheHits.Load() }},
+		func(c *stats.AllocCounters) uint64 { return c.CacheHits() }},
 	{"prudence_cache_latent_hits_total", "Allocations served by merging safe latent objects (Prudence).",
-		func(c *stats.AllocCounters) uint64 { return c.LatentHits.Load() }},
+		func(c *stats.AllocCounters) uint64 { return c.LatentHits() }},
 	{"prudence_cache_refills_total", "Object cache refill operations.",
 		func(c *stats.AllocCounters) uint64 { return c.Refills.Load() }},
 	{"prudence_cache_partial_refills_total", "Refills that were deliberately partial (Prudence).",
@@ -84,9 +84,9 @@ var cacheCounterFields = []struct {
 	{"prudence_cache_shrinks_total", "Slab cache shrink operations.",
 		func(c *stats.AllocCounters) uint64 { return c.Shrinks.Load() }},
 	{"prudence_cache_frees_total", "Immediate frees.",
-		func(c *stats.AllocCounters) uint64 { return c.Frees.Load() }},
+		func(c *stats.AllocCounters) uint64 { return c.Frees() }},
 	{"prudence_cache_deferred_frees_total", "Frees deferred for a grace period.",
-		func(c *stats.AllocCounters) uint64 { return c.DeferredFrees.Load() }},
+		func(c *stats.AllocCounters) uint64 { return c.DeferredFrees() }},
 	{"prudence_cache_premoves_total", "Slab pre-movements between node lists (Prudence).",
 		func(c *stats.AllocCounters) uint64 { return c.PreMoves.Load() }},
 	{"prudence_cache_gp_waits_total", "Allocations that waited for a grace period (OOM delay).",

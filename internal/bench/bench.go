@@ -53,6 +53,9 @@ type Config struct {
 	// MetricsTo, when non-nil, receives a Prometheus-format dump of the
 	// stack's metrics registry when the stack is closed.
 	MetricsTo io.Writer
+	// DisablePreZero turns off idle-time page pre-zeroing (both kinds
+	// get it by default, keeping the SLUB-vs-Prudence comparison fair).
+	DisablePreZero bool
 }
 
 // DefaultConfig returns the machine used by the experiments: 8 virtual
@@ -88,6 +91,7 @@ type Stack struct {
 	Reg *metrics.Registry
 
 	metricsTo io.Writer
+	zeroer    *pagealloc.Zeroer
 }
 
 // NewStack builds a machine and allocator of the given kind.
@@ -111,6 +115,9 @@ func NewStack(kind Kind, cfg Config) *Stack {
 		s.Alloc = core.New(s.Pages, s.RCU, s.Machine, cfg.Prudence)
 	default:
 		panic(fmt.Sprintf("bench: unknown allocator kind %q", kind))
+	}
+	if !cfg.DisablePreZero {
+		s.zeroer = pagealloc.StartPreZero(s.Pages, s.Machine)
 	}
 	s.Reg = metrics.NewRegistry()
 	s.Pages.RegisterMetrics(s.Reg)
@@ -136,6 +143,9 @@ func (s *Stack) Close() {
 	if s.metricsTo != nil {
 		fmt.Fprintf(s.metricsTo, "# stack %s final metrics\n", s.Kind)
 		s.WriteMetrics(s.metricsTo)
+	}
+	if s.zeroer != nil {
+		s.zeroer.Stop()
 	}
 	s.RCU.Stop()
 	s.Machine.Stop()

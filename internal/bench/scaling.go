@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/workload"
+)
+
+// ScalingPoint is one CPU count of the contention sweep.
+type ScalingPoint struct {
+	CPUs          int
+	SLUBPairs     float64 // pairs/sec, all CPUs combined
+	PrudencePairs float64
+	SLUBStalls    int
+}
+
+// ScalingResult is the pairs/s-vs-CPU-count curve for both allocators.
+type ScalingResult struct {
+	Size        int
+	PairsPerCPU int
+	Points      []ScalingPoint
+}
+
+// DefaultScalingCPUs returns the CPU counts of the sweep: powers of two
+// from 1 up to and including max.
+func DefaultScalingCPUs(max int) []int {
+	var out []int
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
+}
+
+// RunScaling measures the Figure 6 micro-benchmark (kmalloc/
+// kfree_deferred pairs per second, one tight loop per CPU) at each CPU
+// count, under both allocators. Unlike RunFig6, which sweeps object
+// size at a fixed machine width, this sweeps machine width at a fixed
+// object size: the curve exposes hot-path serialization (per-CPU cache
+// locks, node-lock traffic, the buddy-allocator lock) that a
+// single-width run hides. The total pair count is held proportional to
+// the CPU count so each point measures per-CPU cost under increasing
+// cross-CPU interference.
+func RunScaling(cfg Config, size, pairsPerCPU int, cpuCounts []int) (ScalingResult, error) {
+	if len(cpuCounts) == 0 {
+		cpuCounts = DefaultScalingCPUs(cfg.CPUs)
+	}
+	res := ScalingResult{Size: size, PairsPerCPU: pairsPerCPU}
+	for _, n := range cpuCounts {
+		if n <= 0 {
+			return res, fmt.Errorf("bench: non-positive CPU count %d in scaling sweep", n)
+		}
+		pt := ScalingPoint{CPUs: n}
+		for _, kind := range []Kind{KindSLUB, KindPrudence} {
+			c := cfg
+			c.CPUs = n
+			if c.PressureWatermark == 0 {
+				// As in RunFig6: let the baseline expedite under
+				// pressure so it measures throughput, not reclaim
+				// stalls.
+				c.PressureWatermark = c.ArenaPages / 2
+			}
+			s := NewStack(kind, c)
+			cache := s.Alloc.NewCache(slabcore.DefaultConfig(fmt.Sprintf("kmalloc-%d", size), size, n))
+			r := workload.RunMicro(s.Env(), cache, pairsPerCPU)
+			switch kind {
+			case KindSLUB:
+				pt.SLUBPairs = r.PairsPerSec()
+				pt.SLUBStalls = r.Stalls
+			case KindPrudence:
+				pt.PrudencePairs = r.PairsPerSec()
+			}
+			cache.Drain()
+			s.Close()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Table renders the curve.
+func (r ScalingResult) Table() string {
+	t := stats.NewTable("cpus", "slub pairs/s", "prudence pairs/s", "speedup", "slub stalls")
+	for _, p := range r.Points {
+		speedup := 0.0
+		if p.SLUBPairs > 0 {
+			speedup = p.PrudencePairs / p.SLUBPairs
+		}
+		t.AddRow(p.CPUs, fmt.Sprintf("%.0f", p.SLUBPairs), fmt.Sprintf("%.0f", p.PrudencePairs),
+			fmt.Sprintf("%.1fx", speedup), p.SLUBStalls)
+	}
+	return fmt.Sprintf("Scaling: %d B kmalloc/kfree_deferred pairs per second vs CPU count (higher is better)\n%s", r.Size, t.String())
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultScalingCPUs(t *testing.T) {
+	got := DefaultScalingCPUs(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("DefaultScalingCPUs(8) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefaultScalingCPUs(8) = %v, want %v", got, want)
+		}
+	}
+	// Non-power-of-two max appears as the final point.
+	got = DefaultScalingCPUs(6)
+	if got[len(got)-1] != 6 {
+		t.Fatalf("DefaultScalingCPUs(6) = %v, want final point 6", got)
+	}
+}
+
+func TestRunScalingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison run")
+	}
+	res, err := RunScaling(smallConfig(), 512, 4000, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.SLUBPairs <= 0 || p.PrudencePairs <= 0 {
+			t.Fatalf("non-positive throughput at %d CPUs: %+v", p.CPUs, p)
+		}
+	}
+	if !strings.Contains(res.Table(), "Scaling") {
+		t.Fatal("table missing title")
+	}
+	recs := res.Records()
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Exp != "scaling" || r.Value <= 0 || r.Unit != "pairs/s" {
+			t.Fatalf("malformed record %+v", r)
+		}
+	}
+	if _, err := RunScaling(smallConfig(), 512, 100, []int{0}); err == nil {
+		t.Fatal("non-positive CPU count accepted")
+	}
+}

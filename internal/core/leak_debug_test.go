@@ -18,9 +18,9 @@ func debugDump(c *Cache) string {
 	out := fmt.Sprintf("latentTotal=%d currentSlabs=%d requested=%d\n",
 		c.latentTotal.Load(), c.base.Ctr.CurrentSlabs(), c.base.Requested())
 	for i, cl := range c.percpu {
-		cl.objs.Mu.Lock()
+		cl.objs.LockRemote()
 		out += fmt.Sprintf("  cpu%d objs=%d latent=%d armed=%v\n", i, cl.objs.Len(), len(cl.latent), cl.preflushArmed)
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 	}
 	for _, n := range c.base.NodesArr {
 		n.Lock()

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestCPULocalPadding pins cpuLocal to 128 bytes (a cache line pair,
+// covering adjacent-line prefetch) so neighbouring CPUs' hot state
+// never false-shares. The struct's pad field must shrink or grow
+// whenever fields change.
+func TestCPULocalPadding(t *testing.T) {
+	if s := unsafe.Sizeof(cpuLocal{}); s != 128 {
+		t.Fatalf("cpuLocal is %d bytes, want 128 — resize its pad field", s)
+	}
+}

@@ -144,10 +144,13 @@ func (a *Allocator) NewCache(cfg slabcore.CacheConfig) alloc.Cache {
 	}
 	c.percpu = make([]*cpuLocal, cfg.CPUs)
 	for i := range c.percpu {
-		c.percpu[i] = &cpuLocal{
+		cl := &cpuLocal{
 			objs: slabcore.NewPerCPUCache(c.base.Cfg.CacheSize),
 		}
+		cl.elapsedFn = func(ck rcu.Cookie) bool { return c.elapsedLocal(cl, ck) }
+		c.percpu[i] = cl
 	}
+	c.placeFn = c.placement
 	c.shrinkGate = make([]atomic.Uint64, len(c.base.NodesArr))
 	a.mu.Lock()
 	a.caches = append(a.caches, c)
@@ -186,10 +189,13 @@ type latentObj struct {
 }
 
 // cpuLocal is one CPU's object cache plus latent cache, guarded by the
-// object cache's mutex (the local-irq-disable analogue). The latent
-// cache is bounded by the object cache size (§4.1): overflow goes to
-// latent slabs instead, so a post-grace-period merge can never overflow
-// the object cache.
+// object cache's owner-core lock (the local-irq-disable analogue): the
+// owning workload goroutine takes the fast path, the idle pre-flush
+// worker and Drain take the visitor path. The latent cache is bounded
+// by the object cache size (§4.1): overflow goes to latent slabs
+// instead, so a post-grace-period merge can never overflow the object
+// cache. Padded to 128 bytes so adjacent CPUs' cpuLocals never share a
+// cache line (or an adjacent-line prefetch pair).
 type cpuLocal struct {
 	objs   *slabcore.PerCPUCache
 	latent []latentObj
@@ -206,6 +212,21 @@ type cpuLocal struct {
 	// traffic since the last overflow flush.
 	predAllocs int
 	predFrees  int
+
+	// elapsedMax caches the highest grace-period cookie this CPU has
+	// observed to elapse. Cookies are monotone ("once elapsed, always
+	// elapsed" holds for every GracePeriods implementation), so queries
+	// at or below the cached value answer locally instead of re-reading
+	// the engine's shared completed-GP line on every latent-entry poll.
+	// Guarded by the cache lock.
+	elapsedMax rcu.Cookie
+
+	// elapsedFn is the prebuilt cached-poll closure handed to
+	// slabcore.Reconcile from paths holding this CPU's cache lock,
+	// built once in NewCache so the hot path never allocates one.
+	elapsedFn func(rcu.Cookie) bool
+
+	_ [40]byte // pad to 128 bytes; sized by TestCPULocalPadding
 }
 
 // Cache is one Prudence slab cache.
@@ -224,6 +245,10 @@ type Cache struct {
 	// grace period, so re-scanning before one completes is wasted work
 	// under the node lock (and starves other CPUs off it).
 	shrinkGate []atomic.Uint64
+
+	// placeFn is the placement policy as a prebuilt func value for
+	// slabcore.ReleaseRefs, so flush paths do not allocate a closure.
+	placeFn func(*slabcore.Slab) slabcore.ListID
 }
 
 var _ alloc.Cache = (*Cache)(nil)
@@ -248,6 +273,21 @@ func (c *Cache) LatentTotal() int64 { return c.latentTotal.Load() }
 
 func (c *Cache) elapsed(ck rcu.Cookie) bool { return c.alloc.rcu.Elapsed(ck) }
 
+// elapsedLocal answers a grace-period poll from cl's cached high-water
+// cookie when possible, touching the engine's shared state only for
+// cookies not yet known to have elapsed (and remembering the answer).
+// Caller holds cl's cache lock.
+func (c *Cache) elapsedLocal(cl *cpuLocal, ck rcu.Cookie) bool {
+	if ck <= cl.elapsedMax {
+		return true
+	}
+	if c.alloc.rcu.Elapsed(ck) {
+		cl.elapsedMax = ck
+		return true
+	}
+	return false
+}
+
 // shrinkLimit is the deferred-aware free-slab threshold: on top of the
 // configured limit, keep enough free slabs to re-home the current
 // latent backlog. Those objects become allocatable at the next grace
@@ -263,17 +303,17 @@ func (c *Cache) shrinkLimit() int {
 // Malloc implements alloc.Cache following Algorithm 1's MALLOC.
 func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 	ctr := &c.base.Ctr
-	ctr.Allocs.Add(1)
+	ctr.IncAllocs(cpu)
 	cl := c.percpu[cpu]
 
 	for {
-		cl.objs.Mu.Lock()
+		cl.objs.Lock()
 		cl.allocsSince++
 		cl.predAllocs++
 		if r := cl.objs.TryGet(); !r.IsZero() {
-			cl.objs.Mu.Unlock()
-			ctr.CacheHits.Add(1)
-			c.base.UserAlloc()
+			cl.objs.Unlock()
+			ctr.IncCacheHits(cpu)
+			c.base.UserAlloc(cpu)
 			if d := c.base.Debugger(); d != nil {
 				d.OnAlloc(r, cpu)
 			}
@@ -283,9 +323,9 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		if n := c.mergeCaches(cl); n > 0 {
 			c.base.Trace(trace.KindMerge, cpu, int64(n), 0)
 			if r := cl.objs.TryGet(); !r.IsZero() {
-				cl.objs.Mu.Unlock()
-				ctr.LatentHits.Add(1)
-				c.base.UserAlloc()
+				cl.objs.Unlock()
+				ctr.IncLatentHits(cpu)
+				c.base.UserAlloc(cpu)
 				if d := c.base.Debugger(); d != nil {
 					d.OnAlloc(r, cpu)
 				}
@@ -295,8 +335,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// Line 12: refill, sized by the latent backlog.
 		c.refill(cpu, cl)
 		if r := cl.objs.TryGet(); !r.IsZero() {
-			cl.objs.Mu.Unlock()
-			c.base.UserAlloc()
+			cl.objs.Unlock()
+			c.base.UserAlloc(cpu)
 			if d := c.base.Debugger(); d != nil {
 				d.OnAlloc(r, cpu)
 			}
@@ -309,7 +349,7 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			c.base.Trace(trace.KindGrow, cpu, 1, 0)
 			c.refill(cpu, cl)
 			r := cl.objs.TryGet()
-			cl.objs.Mu.Unlock()
+			cl.objs.Unlock()
 			if r.IsZero() {
 				// The fresh slab's objects were taken by other CPUs
 				// between our grow and refill: memory exists and the
@@ -318,13 +358,13 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 				// decides.
 				continue
 			}
-			c.base.UserAlloc()
+			c.base.UserAlloc(cpu)
 			if d := c.base.Debugger(); d != nil {
 				d.OnAlloc(r, cpu)
 			}
 			return r, nil
 		}
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 
 		// Lines 31-33: on exhaustion, wait for a grace period if
 		// deferred objects are pending somewhere; they become
@@ -357,30 +397,39 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 
 // mergeCaches implements MERGE_CACHES (lines 60-65): move latent objects
 // whose grace period has elapsed into the object cache, stopping when it
-// is full. Caller holds cl.objs.Mu. Returns the number merged.
+// is full. Caller holds cl's cache lock. Returns the number merged.
+//
+// Cookies are monotone within a CPU's latent cache, so one cached
+// grace-period poll (elapsedLocal) bounds the eligible prefix and the
+// splice transfers it in a single pass — the common cases (nothing
+// elapsed, or everything has) cost one comparison per entry and at
+// most one read of the engine's shared state.
 func (c *Cache) mergeCaches(cl *cpuLocal) int {
-	moved := 0
-	i := 0
-	for i < len(cl.latent) && cl.objs.Len() < cl.objs.Size {
-		if !c.elapsed(cl.latent[i].cookie) {
-			// Cookies are monotone within a CPU's latent cache, so the
-			// first unelapsed entry ends the eligible prefix.
-			break
-		}
-		cl.objs.Put(cl.latent[i].ref)
-		moved++
-		i++
+	room := cl.objs.Size - cl.objs.Len()
+	if room <= 0 || len(cl.latent) == 0 {
+		return 0
 	}
-	if i > 0 {
-		cl.latent = append(cl.latent[:0], cl.latent[i:]...)
-		c.latentTotal.Add(int64(-moved))
+	// The first unelapsed entry ends the eligible prefix.
+	n := 0
+	for n < len(cl.latent) && n < room && c.elapsedLocal(cl, cl.latent[n].cookie) {
+		n++
 	}
-	return moved
+	if n == 0 {
+		return 0
+	}
+	for _, lo := range cl.latent[:n] {
+		cl.objs.Put(lo.ref)
+	}
+	cl.latent = append(cl.latent[:0], cl.latent[n:]...)
+	c.latentTotal.Add(int64(-n))
+	return n
 }
 
 // refill implements REFILL_OBJECT_CACHE (lines 13-30): partial refill
 // sized by the latent backlog, selecting slabs to minimize total
-// fragmentation. Caller holds cl.objs.Mu.
+// fragmentation. Objects move by whole freelist segments (FillFrom),
+// one splice per selected slab under the node lock. Caller holds cl's
+// cache lock.
 func (c *Cache) refill(cpu int, cl *cpuLocal) {
 	full := cl.objs.Size - cl.objs.Len()
 	want := full
@@ -406,16 +455,17 @@ func (c *Cache) refill(cpu int, cl *cpuLocal) {
 	moved := 0
 	node.Lock()
 	for want > 0 {
-		s := c.selectSlab(node)
+		s := c.selectSlab(node, cl.elapsedFn)
 		if s == nil {
 			break
 		}
-		for want > 0 && s.FreeCount() > 0 {
-			cl.objs.Put(s.PopFree())
-			want--
-			moved++
-		}
+		got := cl.objs.FillFrom(s, want)
+		want -= got
+		moved += got
 		node.Move(s, c.placement(s))
+		if got == 0 {
+			break
+		}
 	}
 	node.Unlock()
 	if moved > 0 {
@@ -444,15 +494,17 @@ func (c *Cache) placement(s *slabcore.Slab) slabcore.ListID {
 // partial slabs, reconciling their latent entries, and prefer the slab
 // with the most live objects, skipping slabs whose live objects are
 // mostly deferred so they can drain to empty. Falls back to the free
-// list. Caller holds the node lock. Returns nil if nothing allocatable.
-func (c *Cache) selectSlab(node *slabcore.Node) *slabcore.Slab {
+// list. elapsed is the caller's grace-period poll (refill passes the
+// CPU's cached one so a scan costs at most one shared-state read).
+// Caller holds the node lock. Returns nil if nothing allocatable.
+func (c *Cache) selectSlab(node *slabcore.Node, elapsed func(rcu.Cookie) bool) *slabcore.Slab {
 	var best, fallback *slabcore.Slab
 	var misplaced []*slabcore.Slab
 	bestScore := -1
 	scan := c.alloc.opts.SlabScanLimit
 	node.WalkPartial(scan, func(s *slabcore.Slab) bool {
 		if s.LatentCount() > 0 {
-			if n := s.Reconcile(c.elapsed, c.base.Cfg.Poison); n > 0 {
+			if n := s.Reconcile(elapsed, c.base.Cfg.Poison); n > 0 {
 				c.latentTotal.Add(int64(-n))
 				// Reconciliation may have emptied the slab entirely;
 				// re-home it after the walk or it strands on the
@@ -498,7 +550,7 @@ func (c *Cache) selectSlab(node *slabcore.Node) *slabcore.Slab {
 	// slabs); reconcile to see if one is allocatable yet.
 	for s := node.FirstFree(); s != nil; s = s.NextInList() {
 		if s.LatentCount() > 0 {
-			if n := s.Reconcile(c.elapsed, c.base.Cfg.Poison); n > 0 {
+			if n := s.Reconcile(elapsed, c.base.Cfg.Poison); n > 0 {
 				c.latentTotal.Add(int64(-n))
 			}
 		}
@@ -550,19 +602,19 @@ func (c *Cache) Free(cpu int, r slabcore.Ref) {
 	if d := c.base.Debugger(); d != nil {
 		d.OnFree(r, cpu)
 	}
-	c.base.Ctr.Frees.Add(1)
-	c.base.UserFree()
+	c.base.Ctr.IncFrees(cpu)
+	c.base.UserFree(cpu)
 	cl := c.percpu[cpu]
-	cl.objs.Mu.Lock()
+	cl.objs.Lock()
 	cl.freesSince++
 	cl.predFrees++
 	cl.objs.Put(r)
 	if cl.objs.Len() <= cl.objs.Size {
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 		return
 	}
 	c.flushLocked(cpu, cl)
-	cl.objs.Mu.Unlock()
+	cl.objs.Unlock()
 	_, promoted := c.base.ShrinkNode(c.base.NodeFor(cpu), c.shrinkLimit(), c.elapsed)
 	c.latentTotal.Add(int64(-promoted))
 }
@@ -570,7 +622,7 @@ func (c *Cache) Free(cpu int, r slabcore.Ref) {
 // flushLocked flushes the object cache to the node lists; the amount
 // flushed grows with the latent backlog, and — with the prediction
 // extension — shrinks when freed objects are predicted to be
-// reallocated shortly. Caller holds cl.objs.Mu.
+// reallocated shortly. Caller holds cl's cache lock.
 func (c *Cache) flushLocked(cpu int, cl *cpuLocal) {
 	n := cl.objs.Len()/2 + len(cl.latent)
 	if c.alloc.opts.EnablePrediction {
@@ -592,27 +644,7 @@ func (c *Cache) flushLocked(cpu int, cl *cpuLocal) {
 	}
 	c.base.Ctr.Flushes.Add(1)
 	c.base.Trace(trace.KindFlush, cpu, int64(len(victims)), 0)
-	c.releaseToSlabs(victims)
-}
-
-// releaseToSlabs returns objects to their slabs under the appropriate
-// node locks, applying hint-aware placement.
-func (c *Cache) releaseToSlabs(refs []slabcore.Ref) {
-	for len(refs) > 0 {
-		node := refs[0].Slab.Node()
-		node.Lock()
-		rest := refs[:0]
-		for _, r := range refs {
-			if r.Slab.Node() != node {
-				rest = append(rest, r)
-				continue
-			}
-			r.Slab.PushFree(r.Idx, c.base.Cfg.Poison)
-			node.Move(r.Slab, c.placement(r.Slab))
-		}
-		node.Unlock()
-		refs = rest
-	}
+	c.base.ReleaseRefs(victims, c.placeFn)
 }
 
 // FreeDeferred implements the paper's Listing 2 turnkey API and
@@ -624,15 +656,15 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 		d.OnFree(r, cpu)
 	}
 	ctr := &c.base.Ctr
-	ctr.DeferredFrees.Add(1)
-	c.base.UserFree()
+	ctr.IncDeferredFrees(cpu)
+	c.base.UserFree(cpu)
 	cookie := c.alloc.rcu.Snapshot() // line 35: GET_GRACE_PERIOD_STATE
 	c.alloc.rcu.NeedGP()
 
 	cl := c.percpu[cpu]
 	threshold := c.base.Cfg.CacheSize // latent cache limit = object cache size (§4.1)
 
-	cl.objs.Mu.Lock()
+	cl.objs.Lock()
 	cl.freesSince++
 	if len(cl.latent) < threshold { // line 39: fast path
 		cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
@@ -640,7 +672,7 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 		if cl.objs.Len()+len(cl.latent) > cl.objs.Size { // lines 41-43
 			c.armPreflush(cpu, cl)
 		}
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 		return
 	}
 	// Lines 45-48: flush the object cache, merge (frees latent space if
@@ -650,7 +682,7 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	if len(cl.latent) < threshold {
 		cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
 		c.latentTotal.Add(1)
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 		return
 	}
 	// Lines 49-51: overflow goes to latent slabs. Spill the oldest half
@@ -667,7 +699,7 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	cl.latent = append(cl.latent[:0], cl.latent[spillCount:]...)
 	cl.latent = append(cl.latent, latentObj{ref: r, cookie: cookie})
 	c.latentTotal.Add(1)
-	cl.objs.Mu.Unlock()
+	cl.objs.Unlock()
 
 	c.spillLatentBatch(spill)
 }
@@ -718,7 +750,7 @@ func (c *Cache) maybeShrink(node *slabcore.Node) {
 }
 
 // armPreflush schedules an idle-time pre-flush for this CPU if one is
-// not already queued. Caller holds cl.objs.Mu.
+// not already queued. Caller holds cl's cache lock.
 func (c *Cache) armPreflush(cpu int, cl *cpuLocal) {
 	if c.alloc.opts.DisablePreFlush || cl.preflushArmed {
 		return
@@ -735,7 +767,10 @@ func (c *Cache) armPreflush(cpu int, cl *cpuLocal) {
 func (c *Cache) preflush(cpu int) {
 	cl := c.percpu[cpu]
 	for {
-		cl.objs.Mu.Lock()
+		// The idle worker is a visitor to the workload goroutine's
+		// cache: take the deferential slow path so an armed pre-flush
+		// never competes with the owner's fast path for the lock.
+		cl.objs.LockRemote()
 		// Merge first: if a grace period completed during pre-flush the
 		// safe objects go to the object cache, not the latent slab.
 		c.mergeCaches(cl)
@@ -743,7 +778,7 @@ func (c *Cache) preflush(cpu int) {
 		if excess <= 0 {
 			cl.preflushArmed = false
 			cl.allocsSince, cl.freesSince = 0, 0
-			cl.objs.Mu.Unlock()
+			cl.objs.Unlock()
 			return
 		}
 		aggressive := cl.freesSince >= cl.allocsSince ||
@@ -759,13 +794,13 @@ func (c *Cache) preflush(cpu int) {
 		}
 		if batch == 0 {
 			cl.preflushArmed = false
-			cl.objs.Mu.Unlock()
+			cl.objs.Unlock()
 			return
 		}
 		moved := make([]latentObj, batch)
 		copy(moved, cl.latent[:batch])
 		cl.latent = append(cl.latent[:0], cl.latent[batch:]...)
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 
 		c.base.Ctr.PreFlushes.Add(1)
 		c.base.Trace(trace.KindPreFlush, cpu, int64(batch), 0)
@@ -778,10 +813,11 @@ func (c *Cache) preflush(cpu int) {
 // slab once. Batching is what lets pre-flush spread node-list work over
 // idle time instead of adding a lock round-trip per deferred object.
 func (c *Cache) spillLatentBatch(entries []latentObj) {
+	var touched []*slabcore.Slab // batches are small; linear dedup beats a map allocation
 	for len(entries) > 0 {
 		node := entries[0].ref.Slab.Node()
 		rest := entries[:0]
-		touched := make(map[*slabcore.Slab]struct{}, 8)
+		touched = touched[:0]
 		node.Lock()
 		for _, lo := range entries {
 			if lo.ref.Slab.Node() != node {
@@ -789,10 +825,19 @@ func (c *Cache) spillLatentBatch(entries []latentObj) {
 				continue
 			}
 			lo.ref.Slab.PushLatent(lo.ref.Idx, lo.cookie)
-			touched[lo.ref.Slab] = struct{}{}
+			seen := false
+			for _, s := range touched {
+				if s == lo.ref.Slab {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				touched = append(touched, lo.ref.Slab)
+			}
 		}
 		if !c.alloc.opts.DisablePreMove {
-			for s := range touched {
+			for _, s := range touched {
 				want := slabcore.PredictedList(s)
 				if want != s.List() {
 					node.Move(s, want)
@@ -816,15 +861,15 @@ func (c *Cache) Drain() {
 	for {
 		// Flush per-CPU object caches and spill latent caches to slabs.
 		for _, cl := range c.percpu {
-			cl.objs.Mu.Lock()
+			cl.objs.LockRemote()
 			c.mergeCaches(cl)
 			objs := cl.objs.TakeAll()
 			lat := cl.latent
 			cl.latent = nil
-			cl.objs.Mu.Unlock()
+			cl.objs.Unlock()
 			if len(objs) > 0 {
 				c.base.Ctr.Flushes.Add(1)
-				c.releaseToSlabs(objs)
+				c.base.ReleaseRefs(objs, c.placeFn)
 			}
 			for _, lo := range lat {
 				c.latentTotal.Add(-1)
@@ -852,9 +897,9 @@ func (c *Cache) Drain() {
 // with Drain's flush pass.
 func (c *Cache) percpuEmpty() bool {
 	for _, cl := range c.percpu {
-		cl.objs.Mu.Lock()
+		cl.objs.LockRemote()
 		empty := cl.objs.Len() == 0 && len(cl.latent) == 0
-		cl.objs.Mu.Unlock()
+		cl.objs.Unlock()
 		if !empty {
 			return false
 		}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"prudence/internal/alloctest"
+	"prudence/internal/metrics"
+	"prudence/internal/slabcore"
+	"prudence/internal/vcpu"
+)
+
+// TestOwnerVisitorConcurrency drives the owner-core fast path and every
+// cross-CPU slow path at once: per-CPU workers hammer Malloc / Free /
+// FreeDeferred (owner Lock) while idle workers pre-flush (LockRemote),
+// the RCU engine merges deferred objects, and a scraper goroutine
+// continuously snapshots counters and the metrics registry. Its value
+// is under -race: the owner-lock protocol must make every visitor
+// access to per-CPU state well-ordered, not just mostly-correct.
+func TestOwnerVisitorConcurrency(t *testing.T) {
+	s := alloctest.NewStack(t, alloctest.DefaultStackConfig(), build)
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("ownervisitor"))
+	reg := metrics.NewRegistry()
+	s.Alloc.RegisterMetrics(reg)
+
+	stop := make(chan struct{})
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Cross-CPU reads of the sharded counters and gauges. The
+			// snapshot is not atomic across shards (transient skew like
+			// frees ahead of allocs is expected); the point is that the
+			// reads are well-ordered under -race, not consistent.
+			_ = c.Counters().Snapshot()
+			_, _, _ = c.Fragmentation()
+			_ = reg.String()
+		}
+	}()
+
+	s.Machine.RunOnAll(func(cpu *vcpu.CPU) {
+		id := cpu.ID()
+		s.RCU.ExitIdle(id)
+		defer s.RCU.EnterIdle(id)
+		rng := rand.New(rand.NewSource(int64(id)))
+		var live []slabcore.Ref
+		for i := 0; i < 4000; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				r, err := c.Malloc(id)
+				if err != nil {
+					t.Errorf("cpu %d: %v", id, err)
+					return
+				}
+				live = append(live, r)
+			} else {
+				j := rng.Intn(len(live))
+				if rng.Intn(2) == 0 {
+					c.Free(id, live[j])
+				} else {
+					c.FreeDeferred(id, live[j])
+				}
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			s.RCU.QuiescentState(id)
+		}
+		for _, r := range live {
+			c.Free(id, r)
+		}
+	})
+	close(stop)
+	scraperWG.Wait()
+
+	c.Drain()
+	if err := c.(alloctest.Auditor).Audit(); err != nil {
+		t.Fatalf("post-drain audit: %v", err)
+	}
+	if used := s.Arena.UsedPages(); used != 0 {
+		t.Fatalf("%d pages leaked", used)
+	}
+}

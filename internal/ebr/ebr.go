@@ -210,6 +210,13 @@ func (e *EBR) waitElapsed(c rcu.Cookie) bool {
 			return e.Elapsed(c)
 		default:
 		}
+		// Re-raise demand on every pass: the advancer clears it after
+		// each full grace period (every second advance), and a cookie
+		// snapshotted at an odd epoch outlives the pair that cleared
+		// it — waiting without re-arming would sleep forever. The
+		// broadcast that wakes us is sent under gpMu, so no advance
+		// can slip between this NeedGP and the Wait below.
+		e.NeedGP()
 		e.gpCond.Wait()
 	}
 	return true

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 // The exporter emits exactly the Prometheus exposition text expected
@@ -170,5 +171,14 @@ func BenchmarkCounterParallel(b *testing.B) {
 	})
 	if c.Value() == 0 {
 		b.Fatal("counter never incremented")
+	}
+}
+
+// TestCounterShardPadding pins the per-CPU counter shard to 128 bytes
+// (a cache line pair, covering adjacent-line prefetch) so neighbouring
+// CPUs' counters never false-share.
+func TestCounterShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(counterShard{}); s != 128 {
+		t.Fatalf("counterShard is %d bytes, want 128 — resize its pad field", s)
 	}
 }

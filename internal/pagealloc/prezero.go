@@ -1,0 +1,86 @@
+package pagealloc
+
+import "sync/atomic"
+
+// IdleScheduler dispatches work to per-vCPU idle workers. It is
+// satisfied by vcpu.Machine; pagealloc only needs this slice of it.
+type IdleScheduler interface {
+	NumCPU() int
+	ScheduleIdleOn(cpu int, fn func())
+}
+
+// Zeroer launders dirty free blocks back into the allocator's
+// known-zero pool using idle vCPU time, so slab growth can skip its
+// memset (the dominant cost of a grow, §3.3). This mirrors Prudence's
+// procrastination theme: the zeroing work is still done — it is real
+// cost, just moved off the allocation hot path into idle cycles.
+//
+// Protocol: a free of a dirty block pokes the arm hook. The first poke
+// wins an armed CAS and schedules one idle item; each item zeroes at
+// most one block (the largest dirty one) and reschedules itself on the
+// next vCPU round-robin until no dirty block remains, then disarms.
+// After disarming it re-checks for dirty blocks and re-arms if a free
+// raced with the scan, so no dirty block is ever stranded.
+type Zeroer struct {
+	a       *Allocator
+	sched   IdleScheduler
+	armed   atomic.Bool
+	nextCPU atomic.Uint32
+}
+
+// StartPreZero attaches idle-time pre-zeroing to a. Blocks already
+// dirty at attach time are picked up immediately.
+func StartPreZero(a *Allocator, sched IdleScheduler) *Zeroer {
+	z := &Zeroer{a: a, sched: sched}
+	hook := func() { z.arm() }
+	a.onDirtyFree.Store(&hook)
+	z.arm()
+	return z
+}
+
+// Stop detaches the zeroer from the allocator. Already-scheduled idle
+// items finish their current block and stop rescheduling.
+func (z *Zeroer) Stop() {
+	z.a.onDirtyFree.Store(nil)
+}
+
+func (z *Zeroer) arm() {
+	if !z.armed.CompareAndSwap(false, true) {
+		return // an idle worker is already draining
+	}
+	z.schedule()
+}
+
+func (z *Zeroer) schedule() {
+	cpu := int(z.nextCPU.Add(1)-1) % z.sched.NumCPU()
+	z.sched.ScheduleIdleOn(cpu, z.run)
+}
+
+// run is one idle-queue item: launder one block, then reschedule.
+func (z *Zeroer) run() {
+	if z.a.onDirtyFree.Load() == nil {
+		z.armed.Store(false)
+		return // stopped
+	}
+	r, ok := z.a.takeDirty()
+	if !ok {
+		z.disarm()
+		return
+	}
+	b := z.a.Bytes(r)
+	for i := range b {
+		b[i] = 0
+	}
+	z.a.reinsertZeroed(r)
+	z.schedule()
+}
+
+func (z *Zeroer) disarm() {
+	z.armed.Store(false)
+	// A free may have inserted a dirty block after takeDirty's scan but
+	// before the store above; its arm() lost the CAS and did nothing.
+	// Re-check so that block is not stranded until the next free.
+	if z.a.hasDirty() {
+		z.arm()
+	}
+}

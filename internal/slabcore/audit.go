@@ -85,6 +85,12 @@ func (b *Base) Audit() error {
 	if got := b.Ctr.CurrentSlabs(); got != slabs {
 		errs = append(errs, fmt.Errorf("counter says %d slabs, lists hold %d", got, slabs))
 	}
+	// The per-CPU requested shards may individually go negative
+	// (cross-CPU frees), but the sum is the live object count and must
+	// never be: a negative total means more frees than allocations.
+	if req := b.Requested(); req < 0 {
+		errs = append(errs, fmt.Errorf("cache %q freed more objects than allocated (requested sum %d)", b.Cfg.Name, req))
+	}
 	if len(errs) == 0 {
 		return nil
 	}

@@ -1,0 +1,20 @@
+package slabcore
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// falseSharingPad is the padding target for per-CPU hot structures:
+// two 64-byte cache lines, because adjacent-line prefetchers pull
+// cache lines in pairs, so neighbours one line apart still ping-pong.
+const falseSharingPad = 128
+
+// TestPerCPUCachePadding pins the per-CPU object cache to a multiple
+// of the false-sharing pad so adjacent CPUs' caches (allocated from
+// the same size class) never land on the same line pair.
+func TestPerCPUCachePadding(t *testing.T) {
+	if s := unsafe.Sizeof(PerCPUCache{}); s != falseSharingPad {
+		t.Fatalf("PerCPUCache is %d bytes, want %d — fix the struct's pad field", s, falseSharingPad)
+	}
+}

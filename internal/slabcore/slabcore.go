@@ -161,6 +161,12 @@ type Slab struct {
 	// held by users OR sitting in per-CPU object/latent caches.
 	inUse int
 
+	// touched is scratch state for batched releases (ReleaseRefs and
+	// the allocators' spill paths): marks a slab already seen in the
+	// current batch so list placement runs once per slab, not per
+	// object. Guarded by the node lock; always false between batches.
+	touched bool
+
 	node *Node
 	list ListID
 	prev *Slab
@@ -473,9 +479,6 @@ type Base struct {
 	NodesArr []*Node
 	Ctr      stats.AllocCounters
 
-	reqMu     sync.Mutex
-	requested int64 // live objects held by users
-
 	// colorNext cycles slab colors (atomic; NewSlab runs concurrently).
 	colorNext atomic.Uint32
 
@@ -536,7 +539,7 @@ func (b *Base) NodeFor(cpu int) *Node {
 // block on the buddy allocator's own lock). Returns pagealloc.ErrOutOfMemory
 // when the machine is out of pages.
 func (b *Base) NewSlab(n *Node) (*Slab, error) {
-	run, err := b.Pages.Alloc(b.Cfg.SlabOrder)
+	run, zeroed, err := b.Pages.AllocZeroed(b.Cfg.SlabOrder)
 	if err != nil {
 		return nil, err
 	}
@@ -559,8 +562,12 @@ func (b *Base) NewSlab(n *Node) (*Slab, error) {
 	// Fresh slabs hand out zeroed memory, as kernel slab pages do; the
 	// memset is also what makes a slab-cache grow operation distinctly
 	// more expensive than an object-cache refill (§3.3's 14x vs 4x).
-	for i := range base {
-		base[i] = 0
+	// When the run came from the known-zero pool the cost was already
+	// paid by an idle worker, so the grow path skips it.
+	if !zeroed {
+		for i := range base {
+			base[i] = 0
+		}
 	}
 	s := &Slab{
 		run:     run,
@@ -603,28 +610,57 @@ func (b *Base) DestroySlab(s *Slab) {
 	b.Ctr.SlabShrunk(1)
 }
 
-// UserAlloc accounts one object handed to a user.
-func (b *Base) UserAlloc() {
-	b.reqMu.Lock()
-	b.requested++
-	b.reqMu.Unlock()
-}
+// UserAlloc accounts one object handed to a user on cpu. The count
+// lives in the CPU's padded counter shard, so the accounting that used
+// to serialize every Malloc/Free behind a global mutex is now a local
+// uncontended increment.
+func (b *Base) UserAlloc(cpu int) { b.Ctr.UserAlloc(cpu) }
 
-// UserFree accounts one object returned by a user (free or deferred).
-func (b *Base) UserFree() {
-	b.reqMu.Lock()
-	b.requested--
-	if b.requested < 0 {
-		panic(fmt.Sprintf("slabcore: cache %q freed more objects than allocated", b.Cfg.Name))
-	}
-	b.reqMu.Unlock()
-}
+// UserFree accounts one object returned by a user on cpu (free or
+// deferred). Cross-CPU frees make individual shards go negative;
+// over-freeing is only detectable on the summed value, which Audit
+// checks at quiescent points.
+func (b *Base) UserFree(cpu int) { b.Ctr.UserFree(cpu) }
 
 // Requested returns the number of objects currently held by users.
-func (b *Base) Requested() int64 {
-	b.reqMu.Lock()
-	defer b.reqMu.Unlock()
-	return b.requested
+func (b *Base) Requested() int64 { return b.Ctr.Requested() }
+
+// ReleaseRefs returns a batch of objects to their slabs' freelists with
+// one node-lock acquisition per node (instead of per object) and one
+// list-placement decision per touched slab (instead of per push). place
+// maps each touched slab to its destination list — HomeList for the
+// SLUB view, PredictedList-style policies for Prudence.
+func (b *Base) ReleaseRefs(refs []Ref, place func(*Slab) ListID) {
+	if len(refs) == 0 {
+		return
+	}
+	for _, n := range b.NodesArr {
+		var touched []*Slab
+		locked := false
+		for _, r := range refs {
+			s := r.Slab
+			if s.node != n {
+				continue
+			}
+			if !locked {
+				n.Lock()
+				locked = true
+			}
+			s.PushFree(r.Idx, b.Cfg.Poison)
+			if !s.touched {
+				s.touched = true
+				touched = append(touched, s)
+			}
+		}
+		if !locked {
+			continue
+		}
+		for _, s := range touched {
+			s.touched = false
+			n.Move(s, place(s))
+		}
+		n.Unlock()
+	}
 }
 
 // Fragmentation returns the paper's total fragmentation metric
@@ -647,14 +683,19 @@ func (b *Base) Fragmentation() (ft float64, allocatedBytes, requestedBytes int64
 	return ft, allocatedBytes, requestedBytes
 }
 
-// PerCPUCache is a stack of free object references owned by one CPU. Its
-// mutex stands in for the kernel's local-IRQ-disable: the owning
-// workload goroutine and that CPU's background processors (RCU callback
-// processor, idle pre-flush worker) are the only contenders.
+// PerCPUCache is a stack of free object references owned by one CPU,
+// guarded by an owner-core lock standing in for the kernel's
+// local-IRQ-disable: the owning workload goroutine takes the fast path
+// (Lock), and that CPU's background processors (RCU callback
+// processor, idle pre-flush worker) plus cross-CPU drains take the
+// deferential slow path (LockRemote). The struct is padded to 128
+// bytes so adjacent CPUs' caches never false-share a cache line (or an
+// adjacent-line prefetch pair).
 type PerCPUCache struct {
-	Mu   sync.Mutex
+	lock OwnerLock
 	Objs []Ref
 	Size int // capacity (the "object cache size" o of §4.2)
+	_    [128 - 4 /* lock */ - 4 /* align */ - 24 /* Objs */ - 8] /* Size */ byte
 }
 
 // NewPerCPUCache creates a cache with the given capacity.
@@ -662,7 +703,21 @@ func NewPerCPUCache(size int) *PerCPUCache {
 	return &PerCPUCache{Objs: make([]Ref, 0, size), Size: size}
 }
 
-// TryGet pops an object, returning a zero Ref if empty. Caller must hold Mu.
+// Lock acquires the cache lock on the owner-core fast path.
+func (c *PerCPUCache) Lock() { c.lock.Lock() }
+
+// LockRemote acquires the cache lock as a cross-CPU visitor, yielding
+// to the owner under contention.
+func (c *PerCPUCache) LockRemote() { c.lock.LockRemote() }
+
+// TryLock attempts a single lock acquisition without spinning.
+func (c *PerCPUCache) TryLock() bool { return c.lock.TryLock() }
+
+// Unlock releases the cache lock.
+func (c *PerCPUCache) Unlock() { c.lock.Unlock() }
+
+// TryGet pops an object, returning a zero Ref if empty. Caller must
+// hold the cache lock.
 func (c *PerCPUCache) TryGet() Ref {
 	if len(c.Objs) == 0 {
 		return Ref{}
@@ -672,16 +727,41 @@ func (c *PerCPUCache) TryGet() Ref {
 	return r
 }
 
-// Put pushes an object. Caller must hold Mu and ensure Len < Size or
-// accept growing past Size (flushing is the caller's policy decision).
+// Put pushes an object. Caller must hold the cache lock and ensure
+// Len < Size or accept growing past Size (flushing is the caller's
+// policy decision).
 func (c *PerCPUCache) Put(r Ref) {
 	c.Objs = append(c.Objs, r)
 }
 
-// Len returns the number of cached objects. Caller must hold Mu.
+// Len returns the number of cached objects. Caller must hold the cache
+// lock.
 func (c *PerCPUCache) Len() int { return len(c.Objs) }
 
-// TakeAll removes and returns all objects. Caller must hold Mu.
+// FillFrom splices up to n objects from the slab's freelist into the
+// cache in one operation, returning how many moved. Unlike a
+// PopFree/Put loop this touches the slab's freelist once, so a whole
+// refill costs one bounds-checked copy under the node lock rather than
+// per-object push/pop traffic. Caller must hold both the node lock and
+// the cache lock.
+func (c *PerCPUCache) FillFrom(s *Slab, n int) int {
+	if n > len(s.free) {
+		n = len(s.free)
+	}
+	if n <= 0 {
+		return 0
+	}
+	cut := len(s.free) - n
+	for _, idx := range s.free[cut:] {
+		c.Objs = append(c.Objs, Ref{Slab: s, Idx: idx})
+	}
+	s.free = s.free[:cut]
+	s.inUse += n
+	return n
+}
+
+// TakeAll removes and returns all objects. Caller must hold the cache
+// lock.
 func (c *PerCPUCache) TakeAll() []Ref {
 	out := c.Objs
 	c.Objs = make([]Ref, 0, c.Size)
@@ -689,7 +769,7 @@ func (c *PerCPUCache) TakeAll() []Ref {
 }
 
 // Take removes and returns up to n objects from the bottom of the stack
-// (the coldest entries). Caller must hold Mu.
+// (the coldest entries). Caller must hold the cache lock.
 func (c *PerCPUCache) Take(n int) []Ref {
 	if n > len(c.Objs) {
 		n = len(c.Objs)

@@ -350,8 +350,8 @@ func TestFragmentationMetric(t *testing.T) {
 	s.PopFree()
 	s.PopFree()
 	n.Unlock()
-	b.UserAlloc()
-	b.UserAlloc()
+	b.UserAlloc(0)
+	b.UserAlloc(1)
 	ft, allocated, requested := b.Fragmentation()
 	if allocated != 4096 || requested != 1024 {
 		t.Fatalf("allocated=%d requested=%d", allocated, requested)
@@ -359,22 +359,38 @@ func TestFragmentationMetric(t *testing.T) {
 	if ft != 4.0 {
 		t.Fatalf("fragmentation = %v, want 4.0", ft)
 	}
-	b.UserFree()
-	b.UserFree()
+	b.UserFree(1)
+	b.UserFree(0)
 	ft, _, _ = b.Fragmentation()
 	if ft != 4096 {
 		t.Fatalf("degenerate fragmentation = %v, want allocated bytes", ft)
 	}
 }
 
-func TestUserFreeUnderflowPanics(t *testing.T) {
+// TestUserAccountingCrossCPU checks the sharded requested counter: an
+// individual shard may go negative when objects are freed on a CPU
+// other than the one that allocated them, but the summed value stays
+// exact, and Audit flags a genuinely negative sum (more frees than
+// allocations).
+func TestUserAccountingCrossCPU(t *testing.T) {
 	b := newBase(t, smallCfg())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("user free underflow did not panic")
-		}
-	}()
-	b.UserFree()
+	b.UserAlloc(0)
+	b.UserAlloc(0)
+	b.UserFree(1) // cross-CPU free: shard 1 goes to -1, sum stays 1
+	if got := b.Requested(); got != 1 {
+		t.Fatalf("Requested = %d, want 1", got)
+	}
+	b.UserFree(1)
+	if got := b.Requested(); got != 0 {
+		t.Fatalf("Requested = %d, want 0", got)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatalf("balanced accounting failed audit: %v", err)
+	}
+	b.UserFree(2) // underflow: sum goes negative
+	if err := b.Audit(); err == nil {
+		t.Fatal("audit did not flag user-free underflow")
+	}
 }
 
 func TestNodeForSpreadsCPUs(t *testing.T) {
@@ -395,8 +411,8 @@ func TestNodeForSpreadsCPUs(t *testing.T) {
 
 func TestPerCPUCacheOps(t *testing.T) {
 	c := NewPerCPUCache(4)
-	c.Mu.Lock()
-	defer c.Mu.Unlock()
+	c.Lock()
+	defer c.Unlock()
 	if !c.TryGet().IsZero() {
 		t.Fatal("empty cache returned object")
 	}

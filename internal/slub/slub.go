@@ -106,14 +106,14 @@ func (c *Cache) Fragmentation() (float64, int64, int64) {
 func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 	cc := c.cpuCaches[cpu]
 	ctr := &c.base.Ctr
-	ctr.Allocs.Add(1)
+	ctr.IncAllocs(cpu)
 
 	for attempt := 0; ; attempt++ {
-		cc.Mu.Lock()
+		cc.Lock()
 		if r := cc.TryGet(); !r.IsZero() {
-			cc.Mu.Unlock()
-			ctr.CacheHits.Add(1)
-			c.base.UserAlloc()
+			cc.Unlock()
+			ctr.IncCacheHits(cpu)
+			c.base.UserAlloc(cpu)
 			if d := c.base.Debugger(); d != nil {
 				d.OnAlloc(r, cpu)
 			}
@@ -123,8 +123,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// Slow path: refill from the node lists.
 		c.refill(cpu, cc)
 		if r := cc.TryGet(); !r.IsZero() {
-			cc.Mu.Unlock()
-			c.base.UserAlloc()
+			cc.Unlock()
+			c.base.UserAlloc(cpu)
 			if d := c.base.Debugger(); d != nil {
 				d.OnAlloc(r, cpu)
 			}
@@ -134,7 +134,7 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// Slower path: grow the slab cache by one slab and refill again.
 		node := c.base.NodeFor(cpu)
 		if _, err := c.base.NewSlab(node); err != nil {
-			cc.Mu.Unlock()
+			cc.Unlock()
 			ctr.OOMs.Add(1)
 			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, err
@@ -142,7 +142,7 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		c.base.Trace(trace.KindGrow, cpu, 1, 0)
 		c.refill(cpu, cc)
 		r := cc.TryGet()
-		cc.Mu.Unlock()
+		cc.Unlock()
 		if r.IsZero() {
 			// The fresh slab's objects were taken by other CPUs between
 			// our grow and refill; retry a bounded number of times.
@@ -153,7 +153,7 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			c.base.Trace(trace.KindOOM, cpu, 0, 0)
 			return slabcore.Ref{}, pagealloc.ErrOutOfMemory
 		}
-		c.base.UserAlloc()
+		c.base.UserAlloc(cpu)
 		if d := c.base.Debugger(); d != nil {
 			d.OnAlloc(r, cpu)
 		}
@@ -162,7 +162,10 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 }
 
 // refill moves objects from node-list slabs into the CPU cache until it
-// is full or the node has nothing allocatable. Caller holds cc.Mu.
+// is full or the node has nothing allocatable. Whole freelist segments
+// are spliced per slab (FillFrom), so the node lock is held for one
+// batched copy per slab rather than a per-object push/pop loop. Caller
+// holds the cache lock.
 func (c *Cache) refill(cpu int, cc *slabcore.PerCPUCache) {
 	node := c.base.NodeFor(cpu)
 	want := cc.Size - cc.Len()
@@ -181,12 +184,13 @@ func (c *Cache) refill(cpu int, cc *slabcore.PerCPUCache) {
 		if s == nil {
 			break
 		}
-		for want > 0 && s.FreeCount() > 0 {
-			cc.Put(s.PopFree())
-			want--
-			moved++
-		}
+		got := cc.FillFrom(s, want)
+		want -= got
+		moved += got
 		node.Move(s, slabcore.HomeList(s))
+		if got == 0 {
+			break
+		}
 	}
 	node.Unlock()
 	if moved > 0 {
@@ -202,50 +206,36 @@ func (c *Cache) Free(cpu int, r slabcore.Ref) {
 	if d := c.base.Debugger(); d != nil {
 		d.OnFree(r, cpu)
 	}
-	c.base.Ctr.Frees.Add(1)
-	c.base.UserFree()
-	c.freeObj(cpu, r)
+	c.base.Ctr.IncFrees(cpu)
+	c.base.UserFree(cpu)
+	c.freeObj(cpu, r, false)
 }
 
 // freeObj is the accounting-free inner free used by both Free and the
-// RCU callback path.
-func (c *Cache) freeObj(cpu int, r slabcore.Ref) {
+// RCU callback path. remote selects the visitor lock protocol: the RCU
+// callback processor is a cross-CPU visitor to the target CPU's cache
+// and must defer to its owner rather than compete with it.
+func (c *Cache) freeObj(cpu int, r slabcore.Ref, remote bool) {
 	cc := c.cpuCaches[cpu]
-	cc.Mu.Lock()
+	if remote {
+		cc.LockRemote()
+	} else {
+		cc.Lock()
+	}
 	cc.Put(r)
 	if cc.Len() <= cc.Size {
-		cc.Mu.Unlock()
+		cc.Unlock()
 		return
 	}
 	// Overflow: flush the older half of the cache to the node lists.
 	victims := cc.Take(cc.Len() / 2)
-	cc.Mu.Unlock()
+	cc.Unlock()
 	c.base.Ctr.Flushes.Add(1)
 	c.base.Trace(trace.KindFlush, cpu, int64(len(victims)), 0)
-	c.releaseToSlabs(victims)
+	c.base.ReleaseRefs(victims, slabcore.HomeList)
 	node := c.base.NodeFor(cpu)
 	if freed, _ := c.base.ShrinkNode(node, c.base.Cfg.FreeSlabLimit, nil); freed > 0 {
 		c.base.Trace(trace.KindShrink, cpu, int64(freed), 0)
-	}
-}
-
-// releaseToSlabs returns objects to their owning slabs and fixes up
-// list membership.
-func (c *Cache) releaseToSlabs(refs []slabcore.Ref) {
-	for len(refs) > 0 {
-		node := refs[0].Slab.Node()
-		node.Lock()
-		rest := refs[:0]
-		for _, r := range refs {
-			if r.Slab.Node() != node {
-				rest = append(rest, r)
-				continue
-			}
-			r.Slab.PushFree(r.Idx, c.base.Cfg.Poison)
-			node.Move(r.Slab, slabcore.HomeList(r.Slab))
-		}
-		node.Unlock()
-		refs = rest
 	}
 }
 
@@ -257,10 +247,10 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	if d := c.base.Debugger(); d != nil {
 		d.OnFree(r, cpu)
 	}
-	c.base.Ctr.DeferredFrees.Add(1)
-	c.base.UserFree()
+	c.base.Ctr.IncDeferredFrees(cpu)
+	c.base.UserFree(cpu)
 	c.alloc.rcu.Call(cpu, func() {
-		c.freeObj(cpu, r)
+		c.freeObj(cpu, r, true)
 	})
 }
 
@@ -271,12 +261,12 @@ func (c *Cache) Drain() {
 	// (callbacks are per-CPU FIFO, so the barrier covers this cache's).
 	c.alloc.rcu.Barrier()
 	for _, cc := range c.cpuCaches {
-		cc.Mu.Lock()
+		cc.LockRemote()
 		objs := cc.TakeAll()
-		cc.Mu.Unlock()
+		cc.Unlock()
 		if len(objs) > 0 {
 			c.base.Ctr.Flushes.Add(1)
-			c.releaseToSlabs(objs)
+			c.base.ReleaseRefs(objs, slabcore.HomeList)
 		}
 	}
 	for _, node := range c.base.NodesArr {

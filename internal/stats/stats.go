@@ -13,27 +13,124 @@ import (
 	"time"
 )
 
+// hotShards is the number of per-CPU shards in AllocCounters. A power
+// of two so the shard index is a mask; larger than any machine the
+// experiments build so distinct CPUs get distinct shards.
+const hotShards = 64
+
+// hotShard packs the counters every single Malloc/Free touches into
+// one cache line owned by one CPU, padded to 128 bytes so adjacent
+// CPUs' shards never share a line (nor an adjacent-line prefetch
+// pair). One allocation updates allocs, cacheHits and requested — all
+// on the CPU's own line — instead of three shared atomics contended by
+// every core.
+type hotShard struct {
+	allocs        atomic.Uint64
+	cacheHits     atomic.Uint64
+	latentHits    atomic.Uint64
+	frees         atomic.Uint64
+	deferredFrees atomic.Uint64
+	requested     atomic.Int64 // live objects held by users (may go negative per shard)
+	_             [80]byte
+}
+
 // AllocCounters is the live, atomically-updated counter set for one slab
-// cache (or one allocator instance). The fields map one-to-one onto the
-// quantities in the paper's Figures 7-12.
+// cache (or one allocator instance). The quantities map one-to-one onto
+// the paper's Figures 7-12.
+//
+// The fast-path counters (allocation requests, cache hits, frees,
+// deferred frees, live-object accounting) are sharded per CPU and
+// cache-line padded: increments touch only the owning CPU's line and
+// reads sum the shards. The slow-path counters (refills, flushes,
+// grows, ...) are updated at most once per node-lock crossing and stay
+// single atomics.
 type AllocCounters struct {
-	Allocs        atomic.Uint64 // total allocation requests
-	CacheHits     atomic.Uint64 // allocations served from the per-CPU object cache
-	LatentHits    atomic.Uint64 // allocations served by merging safe latent objects (Prudence)
-	Refills       atomic.Uint64 // object cache refill operations
-	PartialFills  atomic.Uint64 // refills that were deliberately partial (Prudence)
-	Flushes       atomic.Uint64 // object cache flush operations
-	PreFlushes    atomic.Uint64 // idle-time latent cache pre-flush operations (Prudence)
-	Grows         atomic.Uint64 // slab cache grow operations (pages allocated)
-	Shrinks       atomic.Uint64 // slab cache shrink operations (pages returned)
-	Frees         atomic.Uint64 // immediate frees
-	DeferredFrees atomic.Uint64 // frees deferred for a grace period
-	PreMoves      atomic.Uint64 // slab pre-movements between node lists (Prudence)
-	GPWaits       atomic.Uint64 // allocations that had to wait for a grace period (OOM delay)
-	OOMs          atomic.Uint64 // allocations that failed with out-of-memory
+	hot [hotShards]hotShard
+
+	Refills      atomic.Uint64 // object cache refill operations
+	PartialFills atomic.Uint64 // refills that were deliberately partial (Prudence)
+	Flushes      atomic.Uint64 // object cache flush operations
+	PreFlushes   atomic.Uint64 // idle-time latent cache pre-flush operations (Prudence)
+	Grows        atomic.Uint64 // slab cache grow operations (pages allocated)
+	Shrinks      atomic.Uint64 // slab cache shrink operations (pages returned)
+	PreMoves     atomic.Uint64 // slab pre-movements between node lists (Prudence)
+	GPWaits      atomic.Uint64 // allocations that had to wait for a grace period (OOM delay)
+	OOMs         atomic.Uint64 // allocations that failed with out-of-memory
 
 	peakSlabs    atomic.Int64
 	currentSlabs atomic.Int64
+}
+
+func (c *AllocCounters) shard(cpu int) *hotShard {
+	return &c.hot[uint(cpu)&(hotShards-1)]
+}
+
+// IncAllocs counts one allocation request on cpu.
+func (c *AllocCounters) IncAllocs(cpu int) { c.shard(cpu).allocs.Add(1) }
+
+// IncCacheHits counts one allocation served from cpu's object cache.
+func (c *AllocCounters) IncCacheHits(cpu int) { c.shard(cpu).cacheHits.Add(1) }
+
+// IncLatentHits counts one allocation served by a latent merge on cpu.
+func (c *AllocCounters) IncLatentHits(cpu int) { c.shard(cpu).latentHits.Add(1) }
+
+// IncFrees counts one immediate free on cpu.
+func (c *AllocCounters) IncFrees(cpu int) { c.shard(cpu).frees.Add(1) }
+
+// IncDeferredFrees counts one deferred free on cpu.
+func (c *AllocCounters) IncDeferredFrees(cpu int) { c.shard(cpu).deferredFrees.Add(1) }
+
+// UserAlloc accounts one object handed to a user on cpu.
+func (c *AllocCounters) UserAlloc(cpu int) { c.shard(cpu).requested.Add(1) }
+
+// UserFree accounts one object returned by a user on cpu (free or
+// deferred). Objects may be freed on a different CPU than they were
+// allocated on, so an individual shard's count may legitimately go
+// negative; only the sum is meaningful.
+func (c *AllocCounters) UserFree(cpu int) { c.shard(cpu).requested.Add(-1) }
+
+// Allocs returns total allocation requests.
+func (c *AllocCounters) Allocs() uint64 {
+	return c.sum(func(s *hotShard) uint64 { return s.allocs.Load() })
+}
+
+// CacheHits returns allocations served from per-CPU object caches.
+func (c *AllocCounters) CacheHits() uint64 {
+	return c.sum(func(s *hotShard) uint64 { return s.cacheHits.Load() })
+}
+
+// LatentHits returns allocations served by merging safe latent objects.
+func (c *AllocCounters) LatentHits() uint64 {
+	return c.sum(func(s *hotShard) uint64 { return s.latentHits.Load() })
+}
+
+// Frees returns immediate frees.
+func (c *AllocCounters) Frees() uint64 {
+	return c.sum(func(s *hotShard) uint64 { return s.frees.Load() })
+}
+
+// DeferredFrees returns frees deferred for a grace period.
+func (c *AllocCounters) DeferredFrees() uint64 {
+	return c.sum(func(s *hotShard) uint64 { return s.deferredFrees.Load() })
+}
+
+// Requested returns the number of objects currently held by users. The
+// value is exact when the cache is quiescent; concurrent updates on
+// other CPUs may skew a live read by the operations in flight.
+func (c *AllocCounters) Requested() int64 {
+	var total int64
+	for i := range c.hot {
+		total += c.hot[i].requested.Load()
+	}
+	return total
+}
+
+func (c *AllocCounters) sum(read func(*hotShard) uint64) uint64 {
+	var total uint64
+	for i := range c.hot {
+		total += read(&c.hot[i])
+	}
+	return total
 }
 
 // SlabGrown records count slabs added and maintains the peak.
@@ -85,17 +182,17 @@ type AllocSnapshot struct {
 // Snapshot copies the counters.
 func (c *AllocCounters) Snapshot() AllocSnapshot {
 	return AllocSnapshot{
-		Allocs:        c.Allocs.Load(),
-		CacheHits:     c.CacheHits.Load(),
-		LatentHits:    c.LatentHits.Load(),
+		Allocs:        c.Allocs(),
+		CacheHits:     c.CacheHits(),
+		LatentHits:    c.LatentHits(),
 		Refills:       c.Refills.Load(),
 		PartialFills:  c.PartialFills.Load(),
 		Flushes:       c.Flushes.Load(),
 		PreFlushes:    c.PreFlushes.Load(),
 		Grows:         c.Grows.Load(),
 		Shrinks:       c.Shrinks.Load(),
-		Frees:         c.Frees.Load(),
-		DeferredFrees: c.DeferredFrees.Load(),
+		Frees:         c.Frees(),
+		DeferredFrees: c.DeferredFrees(),
 		PreMoves:      c.PreMoves.Load(),
 		GPWaits:       c.GPWaits.Load(),
 		OOMs:          c.OOMs.Load(),

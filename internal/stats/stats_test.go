@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func TestSlabGrowShrinkPeak(t *testing.T) {
@@ -40,11 +41,18 @@ func TestNegativeSlabCountPanics(t *testing.T) {
 
 func TestSnapshotSub(t *testing.T) {
 	var c AllocCounters
-	c.Allocs.Add(10)
-	c.CacheHits.Add(7)
+	for i := 0; i < 10; i++ {
+		c.IncAllocs(i) // spread over shards; reads must still sum correctly
+	}
+	for i := 0; i < 7; i++ {
+		c.IncCacheHits(i)
+	}
 	before := c.Snapshot()
-	c.Allocs.Add(5)
-	c.CacheHits.Add(2)
+	for i := 0; i < 5; i++ {
+		c.IncAllocs(i)
+	}
+	c.IncCacheHits(0)
+	c.IncCacheHits(70) // wraps onto shard 6; sums, not shard layout, are the contract
 	c.Flushes.Add(3)
 	d := c.Snapshot().Sub(before)
 	if d.Allocs != 5 || d.CacheHits != 2 || d.Flushes != 3 {
@@ -178,5 +186,53 @@ func TestPropertyChurnBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHotShardPadding pins the per-CPU counter shard to 128 bytes (a
+// cache line pair, covering adjacent-line prefetch) so neighbouring
+// CPUs' fast-path counters never false-share.
+func TestHotShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(hotShard{}); s != 128 {
+		t.Fatalf("hotShard is %d bytes, want 128 — resize its pad field", s)
+	}
+}
+
+// TestShardedCountersSum exercises every write method across more CPUs
+// than shards and checks the summed reads.
+func TestShardedCountersSum(t *testing.T) {
+	var c AllocCounters
+	const cpus = hotShards + 3 // force wraparound
+	for cpu := 0; cpu < cpus; cpu++ {
+		c.IncAllocs(cpu)
+		c.IncCacheHits(cpu)
+		c.IncLatentHits(cpu)
+		c.IncFrees(cpu)
+		c.IncDeferredFrees(cpu)
+		c.UserAlloc(cpu)
+	}
+	if got := c.Allocs(); got != cpus {
+		t.Fatalf("Allocs = %d, want %d", got, cpus)
+	}
+	if got := c.CacheHits(); got != cpus {
+		t.Fatalf("CacheHits = %d, want %d", got, cpus)
+	}
+	if got := c.LatentHits(); got != cpus {
+		t.Fatalf("LatentHits = %d, want %d", got, cpus)
+	}
+	if got := c.Frees(); got != cpus {
+		t.Fatalf("Frees = %d, want %d", got, cpus)
+	}
+	if got := c.DeferredFrees(); got != cpus {
+		t.Fatalf("DeferredFrees = %d, want %d", got, cpus)
+	}
+	if got := c.Requested(); got != cpus {
+		t.Fatalf("Requested = %d, want %d", got, cpus)
+	}
+	for cpu := 0; cpu < cpus; cpu++ {
+		c.UserFree(cpus - 1 - cpu) // free on a different CPU than allocated
+	}
+	if got := c.Requested(); got != 0 {
+		t.Fatalf("Requested after cross-CPU frees = %d, want 0", got)
 	}
 }

@@ -151,6 +151,14 @@ func (c *CPU) ScheduleIdle(fn func()) {
 	}
 }
 
+// ScheduleIdleOn queues fn on cpu's idle worker. It is the
+// machine-level form of CPU.ScheduleIdle, letting subsystems that only
+// hold a machine reference (e.g. the page pre-zeroer) dispatch idle
+// work without knowing the CPU type.
+func (m *Machine) ScheduleIdleOn(cpu int, fn func()) {
+	m.CPU(cpu).ScheduleIdle(fn)
+}
+
 // IdleBusy reports whether the idle worker is currently executing or has
 // queued work. Callers use it to avoid double-scheduling.
 func (c *CPU) IdleBusy() bool {

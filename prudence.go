@@ -167,6 +167,7 @@ type System struct {
 	alloc   alloc.Allocator
 	reg     *metrics.Registry
 	ring    *trace.Ring // nil when tracing is disabled
+	zeroer  *pagealloc.Zeroer
 }
 
 // New builds and starts a System. It returns an error for an invalid
@@ -191,6 +192,7 @@ func New(cfg Config) (*System, error) {
 	s.arena = memarena.New(cfg.MemoryPages)
 	s.pages = pagealloc.New(s.arena)
 	s.machine = vcpu.NewMachine(cfg.CPUs)
+	s.zeroer = pagealloc.StartPreZero(s.pages, s.machine)
 	if cfg.TraceRingSize >= 0 {
 		size := cfg.TraceRingSize
 		if size == 0 {
@@ -255,6 +257,7 @@ func MustNew(cfg Config) *System {
 
 // Close stops the System's background goroutines.
 func (s *System) Close() {
+	s.zeroer.Stop()
 	if s.rcu != nil {
 		s.rcu.Stop()
 	}

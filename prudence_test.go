@@ -132,10 +132,13 @@ func TestRunOnAllCPUs(t *testing.T) {
 	if total.Load() != 800 {
 		t.Fatalf("completed %d ops", total.Load())
 	}
+	// Drain cannot return until the deferred frees' grace periods have
+	// elapsed, so the counter check after it is race-free (checking right
+	// after the loop raced with the engine's minimum GP interval).
+	c.Drain()
 	if sys.GracePeriods() == 0 {
 		t.Fatal("no grace periods elapsed")
 	}
-	c.Drain()
 }
 
 func TestListFacade(t *testing.T) {
