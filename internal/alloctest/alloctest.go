@@ -155,6 +155,10 @@ func RunConformance(t *testing.T, build BuildAllocator) {
 		}
 		marker := r.Bytes()
 		copy(marker, []byte("LIVE-DATA"))
+		// Capture the handle before the deferred free: the object is
+		// dead to us afterwards (no-touch-after-defer), but the test
+		// still needs its identity to detect premature reuse.
+		deadSlab, deadIdx := r.Slab, r.Idx
 		c.FreeDeferred(0, r)
 
 		// Allocate aggressively on CPU 0: none of these may alias the
@@ -165,7 +169,7 @@ func RunConformance(t *testing.T, build BuildAllocator) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if nr.Slab == r.Slab && nr.Idx == r.Idx {
+			if nr.Slab == deadSlab && nr.Idx == deadIdx {
 				t.Fatalf("deferred object handed out before grace period (iteration %d)", i)
 			}
 			got = append(got, nr)
@@ -194,6 +198,10 @@ func RunConformance(t *testing.T, build BuildAllocator) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Capture the handle before the deferred free (the object is
+		// dead to us afterwards); the loop below watches for it to be
+		// handed out again.
+		deadSlab, deadIdx := r.Slab, r.Idx
 		c.FreeDeferred(0, r)
 		s.RCU.Synchronize()
 		// The object must come back through Malloc eventually: for SLUB
@@ -210,7 +218,7 @@ func RunConformance(t *testing.T, build BuildAllocator) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if nr.Slab == r.Slab && nr.Idx == r.Idx {
+				if nr.Slab == deadSlab && nr.Idx == deadIdx {
 					same = true
 				}
 				refs = append(refs, nr)

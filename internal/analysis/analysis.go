@@ -1,0 +1,66 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver-facing surface for
+// the prudence-vet analyzers (see the sibling packages lockorder,
+// guardedby, atomicalign and rcucheck).
+//
+// The repository deliberately has no module dependencies, so the
+// x/tools analysis framework is reimplemented here over the standard
+// library's go/ast, go/types and go/token. The API mirrors x/tools
+// where it matters (Analyzer, Pass, Diagnostic, Pass.Reportf) so that
+// swapping to the real framework later is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"prudence/internal/analysis/annot"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the
+	// prudence-vet command line.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer proves.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, plus the module-wide annotation table.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TypesSizes describes the target platform's layout (the driver's
+	// host GOARCH); analyzers needing another layout (atomicalign's
+	// 32-bit check) construct their own types.Sizes.
+	TypesSizes types.Sizes
+
+	// Directives is the module-wide //prudence: annotation table. It is
+	// built from the source of every module-local package in the load's
+	// dependency graph, so annotations on slabcore types are visible
+	// while analyzing core even though core imports slabcore via export
+	// data.
+	Directives *annot.Table
+
+	// Report delivers one diagnostic. The driver sets it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against x/tools-style expectations: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a source line declares that the analyzer must report, on that
+// line, one diagnostic matching each regexp. Diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// both fail the test.
+//
+// Fixture packages live under each analyzer's testdata directory. The
+// testdata name keeps them out of ./... wildcards — `go build ./...`
+// and prudence-vet's CI run never see the deliberately-broken code —
+// while an explicit relative pattern (./testdata/src/a) loads them
+// through the same driver the production tool uses.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/driver"
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the packages matching patterns (relative to the test's
+// working directory, i.e. the analyzer's package directory) and applies
+// a to them, matching diagnostics against // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	load, err := driver.LoadPackages(".", patterns)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	for _, d := range load.DirectiveErrs {
+		t.Errorf("malformed directive: %s", d)
+	}
+
+	want := make(map[string][]*expectation) // "file:line" → expectations
+	for _, pkg := range load.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := load.Fset.Position(c.Pos())
+					res, perr := parseWant(c.Text)
+					if perr != nil {
+						t.Fatalf("%s: %v", pos, perr)
+					}
+					for _, re := range res {
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						want[key] = append(want[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	findings, err := driver.Run(load, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		match := false
+		for _, exp := range want[key] {
+			if !exp.matched && exp.re.MatchString(f.Message) {
+				exp.matched = true
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for key, exps := range want {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, exp.re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "re" ...` comment.
+// Comments without the want marker return nil.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		lit, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: expected quoted regexp at %q", rest)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: %v", err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: bad regexp %q: %v", unq, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	return out, nil
+}

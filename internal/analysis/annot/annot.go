@@ -1,0 +1,293 @@
+// Package annot parses the //prudence: annotation grammar that the
+// prudence-vet analyzers enforce (see DESIGN.md §8 for the full
+// grammar and its semantics):
+//
+//	//prudence:lockorder <rank>      on a lock type or lock field:
+//	                                 declares a lock class with an
+//	                                 acquisition rank (lower ranks are
+//	                                 acquired first).
+//	//prudence:guarded_by <spec>     on a struct field: reads/writes
+//	                                 require the named lock class held.
+//	//prudence:padded <bytes>        on a struct type: its 64-bit size
+//	                                 must equal <bytes> exactly.
+//	//prudence:rcu [<spec>]          on an atomic pointer field: Load is
+//	                                 legal only inside a read-side
+//	                                 critical section (or holding the
+//	                                 optional writer lock class); Store
+//	                                 requires the writer lock class.
+//	//prudence:requires <spec>,...   on a function: the caller holds the
+//	                                 named lock classes on entry.
+//	//prudence:rcu_read              on a function: the caller is inside
+//	                                 a read-side critical section.
+//	//prudence:nocheck <analyzer>    on a function: suppress one
+//	                                 analyzer in its body (audited —
+//	                                 every use needs a justifying
+//	                                 comment and a CHANGES.md note).
+//
+// A <spec> names a lock class by any unambiguous suffix of its key:
+// "Node", "slabcore.Node" and "prudence/internal/slabcore.Node" all
+// resolve to the class declared on slabcore's Node type. A guarded_by
+// spec may instead name a sibling field whose type is (a pointer to) a
+// lock class, e.g. guarded_by objs on core's cpuLocal fields.
+//
+// The table is built from parsed source of every module-local package
+// in a load, so annotations travel across package boundaries even
+// though type information for imports comes from export data (which
+// carries no comments).
+package annot
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Directive verbs.
+const (
+	VerbLockOrder = "lockorder"
+	VerbGuardedBy = "guarded_by"
+	VerbPadded    = "padded"
+	VerbRCU       = "rcu"
+	VerbRequires  = "requires"
+	VerbRCURead   = "rcu_read"
+	VerbNoCheck   = "nocheck"
+)
+
+const prefix = "//prudence:"
+
+// Class is one declared lock class.
+type Class struct {
+	// Key is "pkgpath.Type" for a class declared on a type, or
+	// "pkgpath.Type.field" for one declared on a struct field.
+	Key  string
+	Rank int
+	Pos  token.Pos
+}
+
+// RCUPtr describes one //prudence:rcu field.
+type RCUPtr struct {
+	// Writer is the optional writer-lock class spec ("" if absent).
+	Writer string
+	Pos    token.Pos
+}
+
+// Table is the module-wide annotation index, keyed by qualified names
+// so it can be consulted for types the analyzed package only imports.
+type Table struct {
+	classes map[string]*Class // "pkg.Type" / "pkg.Type.field" → class
+	guards  map[string]string // "pkg.Type.field" → guard spec
+	rcuPtrs map[string]RCUPtr // "pkg.Type.field" → rcu pointer info
+	padded  map[string]int    // "pkg.Type" → required 64-bit size
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		classes: make(map[string]*Class),
+		guards:  make(map[string]string),
+		rcuPtrs: make(map[string]RCUPtr),
+		padded:  make(map[string]int),
+	}
+}
+
+// AddPackage indexes every //prudence: annotation on types and fields
+// of the given parsed files, which belong to the package at pkgPath.
+// Malformed directives are returned as errors positioned at the
+// offending comment.
+func (t *Table) AddPackage(pkgPath string, files []*ast.File) []error {
+	var errs []error
+	fail := func(pos token.Pos, format string, args ...interface{}) {
+		errs = append(errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				typeKey := pkgPath + "." + ts.Name.Name
+				docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if len(gd.Specs) == 1 {
+					docs = append(docs, gd.Doc)
+				}
+				for _, d := range Parse(docs...) {
+					switch d.Verb {
+					case VerbLockOrder:
+						rank, err := strconv.Atoi(strings.TrimSpace(d.Args))
+						if err != nil {
+							fail(d.Pos, "prudence:lockorder on %s: rank %q is not an integer", typeKey, d.Args)
+							continue
+						}
+						t.classes[typeKey] = &Class{Key: typeKey, Rank: rank, Pos: d.Pos}
+					case VerbPadded:
+						n, err := strconv.Atoi(strings.TrimSpace(d.Args))
+						if err != nil || n <= 0 {
+							fail(d.Pos, "prudence:padded on %s: size %q is not a positive integer", typeKey, d.Args)
+							continue
+						}
+						t.padded[typeKey] = n
+					case VerbGuardedBy, VerbRCU:
+						fail(d.Pos, "prudence:%s is a field annotation; it cannot apply to type %s", d.Verb, typeKey)
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, d := range Parse(field.Doc, field.Comment) {
+						for _, name := range field.Names {
+							fieldKey := typeKey + "." + name.Name
+							switch d.Verb {
+							case VerbLockOrder:
+								rank, err := strconv.Atoi(strings.TrimSpace(d.Args))
+								if err != nil {
+									fail(d.Pos, "prudence:lockorder on %s: rank %q is not an integer", fieldKey, d.Args)
+									continue
+								}
+								t.classes[fieldKey] = &Class{Key: fieldKey, Rank: rank, Pos: d.Pos}
+							case VerbGuardedBy:
+								spec := strings.TrimSpace(d.Args)
+								if spec == "" {
+									fail(d.Pos, "prudence:guarded_by on %s: missing lock spec", fieldKey)
+									continue
+								}
+								t.guards[fieldKey] = spec
+							case VerbRCU:
+								t.rcuPtrs[fieldKey] = RCUPtr{Writer: strings.TrimSpace(d.Args), Pos: d.Pos}
+							case VerbPadded:
+								fail(d.Pos, "prudence:padded is a type annotation; it cannot apply to field %s", fieldKey)
+							}
+						}
+						if len(field.Names) == 0 {
+							fail(d.Pos, "prudence:%s cannot apply to an embedded field of %s", d.Verb, typeKey)
+						}
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// Error is a malformed-directive error with a position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// ClassByKey returns the lock class declared exactly at key, or nil.
+func (t *Table) ClassByKey(key string) *Class { return t.classes[key] }
+
+// GuardSpec returns the guarded_by spec for the field key, or "".
+func (t *Table) GuardSpec(fieldKey string) string { return t.guards[fieldKey] }
+
+// RCUPtrInfo returns the rcu annotation for the field key.
+func (t *Table) RCUPtrInfo(fieldKey string) (RCUPtr, bool) {
+	p, ok := t.rcuPtrs[fieldKey]
+	return p, ok
+}
+
+// PaddedSize returns the required 64-bit size for the type key, or 0.
+func (t *Table) PaddedSize(typeKey string) int { return t.padded[typeKey] }
+
+// PaddedTypes returns every "pkg.Type" key carrying a padded directive.
+func (t *Table) PaddedTypes() map[string]int { return t.padded }
+
+// MatchSpec reports whether a class key is named by spec. A spec names
+// a class by its full key or by any suffix starting at a '.' or '/'
+// boundary: "Node", "slabcore.Node" and
+// "prudence/internal/slabcore.Node" all match the last of these.
+func MatchSpec(key, spec string) bool {
+	if key == spec {
+		return true
+	}
+	return strings.HasSuffix(key, "."+spec) || strings.HasSuffix(key, "/"+spec)
+}
+
+// ResolveSpec returns every declared class named by spec.
+func (t *Table) ResolveSpec(spec string) []*Class {
+	var out []*Class
+	for key, c := range t.classes {
+		if MatchSpec(key, spec) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Directive is one parsed //prudence: comment.
+type Directive struct {
+	Verb string
+	Args string
+	Pos  token.Pos
+}
+
+// Parse extracts directives from the given comment groups (nil groups
+// are permitted).
+func Parse(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, prefix)
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(text, " ")
+			out = append(out, Directive{Verb: strings.TrimSpace(verb), Args: strings.TrimSpace(args), Pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// FuncDirectives returns the directives attached to a function
+// declaration's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	if fn == nil {
+		return nil
+	}
+	return Parse(fn.Doc)
+}
+
+// FuncRequires returns the lock-class specs from every
+// prudence:requires directive on fn (comma- or space-separated).
+func FuncRequires(fn *ast.FuncDecl) []string {
+	var out []string
+	for _, d := range FuncDirectives(fn) {
+		if d.Verb != VerbRequires {
+			continue
+		}
+		for _, part := range strings.FieldsFunc(d.Args, func(r rune) bool { return r == ',' || r == ' ' }) {
+			if part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+// FuncHas reports whether fn carries the given marker verb
+// (prudence:rcu_read), and for nocheck whether it names the analyzer.
+func FuncHas(fn *ast.FuncDecl, verb, arg string) bool {
+	for _, d := range FuncDirectives(fn) {
+		if d.Verb != verb {
+			continue
+		}
+		if arg == "" || strings.Contains(" "+d.Args+" ", " "+arg+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+// Package atomicalign is the static twin of the runtime padding tests:
+//
+//   - Struct fields passed by address to sync/atomic's 64-bit functions
+//     must sit at an 8-byte-aligned offset under 32-bit (GOARCH=386)
+//     layout rules, where uint64's natural alignment is only 4. (Fields
+//     of type atomic.Int64/Uint64 are immune by construction and not
+//     checked.)
+//   - Types annotated //prudence:padded <bytes> must have exactly that
+//     size under 64-bit layout — the cache-line padding contract of the
+//     per-CPU structures (PerCPUCache, cpuLocal, pagealloc's shard, the
+//     stats hot shards).
+package atomicalign
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"prudence/internal/analysis"
+)
+
+// Analyzer is the atomicalign analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicalign",
+	Doc:  "check 64-bit atomic field alignment and prudence:padded struct sizes",
+	Run:  run,
+}
+
+var atomic64 = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func run(pass *analysis.Pass) error {
+	sizes32 := types.SizesFor("gc", "386")
+	sizes64 := types.SizesFor("gc", "amd64")
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkAtomicCall(pass, sizes32, call)
+			return true
+		})
+	}
+
+	checkPadded(pass, sizes64)
+	return nil
+}
+
+// checkAtomicCall flags atomic.XxxInt64(&s.f, ...) when f's offset is
+// not 8-aligned under 32-bit layout.
+func checkAtomicCall(pass *analysis.Pass, sizes32 types.Sizes, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomic64[sel.Sel.Name] {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" || len(call.Args) == 0 {
+		return
+	}
+	addr, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || addr.Op.String() != "&" {
+		return
+	}
+	fieldSel, ok := addr.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	off, ok := fieldOffset(pass, sizes32, fieldSel)
+	if !ok {
+		return
+	}
+	if off%8 != 0 {
+		pass.Reportf(addr.Pos(), "address of %s passed to 64-bit atomic.%s: field offset %d is not 8-byte aligned on 32-bit platforms; move it first in the struct or pad before it",
+			types.ExprString(fieldSel), sel.Sel.Name, off)
+	}
+}
+
+// fieldOffset returns sel's byte offset from the innermost addressable
+// base under the given layout. Offsets accumulate across value-typed
+// field selections; a pointer indirection resets the base (allocated
+// objects are 8-aligned).
+func fieldOffset(pass *analysis.Pass, sizes types.Sizes, sel *ast.SelectorExpr) (int64, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return 0, false
+	}
+	off, ok := selectionOffset(sizes, s)
+	if !ok {
+		return 0, false
+	}
+	if inner, isSel := sel.X.(*ast.SelectorExpr); isSel {
+		if tv, ok := pass.TypesInfo.Types[inner]; ok {
+			if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+				if innerOff, ok := fieldOffset(pass, sizes, inner); ok {
+					off += innerOff
+				}
+			}
+		}
+	}
+	return off, true
+}
+
+func selectionOffset(sizes types.Sizes, s *types.Selection) (int64, bool) {
+	t := s.Recv()
+	var off int64
+	for _, idx := range s.Index() {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			off = 0 // indirection: new allocation, new base
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}
+
+// checkPadded verifies each //prudence:padded type declared in this
+// package has exactly the annotated 64-bit size.
+func checkPadded(pass *analysis.Pass, sizes64 types.Sizes) {
+	prefix := pass.Pkg.Path() + "."
+	for key, want := range pass.Directives.PaddedTypes() {
+		name, ok := strings.CutPrefix(key, prefix)
+		if !ok || strings.Contains(name, ".") {
+			continue
+		}
+		obj := pass.Pkg.Scope().Lookup(name)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		got := sizes64.Sizeof(tn.Type().Underlying())
+		if got != int64(want) {
+			pass.Reportf(obj.Pos(), "%s is %d bytes on 64-bit but prudence:padded declares %d; adjust the trailing pad array",
+				shortKey(key), got, want)
+		}
+	}
+}
+
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

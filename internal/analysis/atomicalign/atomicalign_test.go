@@ -1,0 +1,11 @@
+package atomicalign
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestAtomicAlign(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,57 @@
+// Package a is the atomicalign fixture: 32-bit alignment of 64-bit
+// atomic fields, and padded struct size contracts.
+package a
+
+import "sync/atomic"
+
+// Misaligned: on 386 uint64 aligns to 4, so hits sits at offset 4.
+type Bad struct {
+	flag uint32
+	hits uint64
+}
+
+func BumpBad(b *Bad) {
+	atomic.AddUint64(&b.hits, 1) // want `address of b\.hits passed to 64-bit atomic\.AddUint64: field offset 4 is not 8-byte aligned on 32-bit`
+}
+
+// Aligned: 64-bit fields first is the sync/atomic bug-note idiom.
+type Good struct {
+	hits uint64
+	flag uint32
+}
+
+func BumpGood(g *Good) {
+	atomic.AddUint64(&g.hits, 1)
+	atomic.LoadUint64(&g.hits)
+}
+
+// Nested value structs accumulate offsets: inner starts at 4 on 386
+// (struct alignment is 4 there), putting inner.hits at 4+0=4.
+type Outer struct {
+	flag  uint32
+	inner struct {
+		hits uint64
+		pad  uint32
+	}
+}
+
+func BumpOuter(o *Outer) {
+	atomic.AddUint64(&o.inner.hits, 1) // want `field offset 4 is not 8-byte aligned on 32-bit`
+}
+
+// 32-bit atomics have no 8-byte requirement.
+func Bump32(b *Bad) {
+	atomic.AddUint32(&b.flag, 1)
+}
+
+//prudence:padded 128
+type PadOK struct {
+	n uint64
+	_ [120]byte
+}
+
+//prudence:padded 128
+type PadShort struct { // want `a\.PadShort is 112 bytes on 64-bit but prudence:padded declares 128`
+	n uint64
+	_ [104]byte
+}

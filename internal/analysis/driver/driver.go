@@ -1,0 +1,244 @@
+// Package driver loads Go packages for the prudence-vet analyzers
+// without any dependency outside the standard library.
+//
+// The loading strategy replaces golang.org/x/tools/go/packages:
+//
+//  1. `go list -json <patterns>` names the target packages.
+//  2. `go list -export -deps -json <patterns>` compiles the whole
+//     dependency graph and reports an export-data file for every
+//     package in it (stdlib included, via the build cache).
+//  3. Target packages are parsed from source with comments and
+//     type-checked against that export data through
+//     importer.ForCompiler's lookup hook.
+//
+// Every module-local package in the graph — not just the targets — is
+// parsed for //prudence: annotations, so a directive on a slabcore type
+// is visible while analyzing core even though core sees slabcore only
+// as export data (which carries no comments).
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Load is the result of LoadPackages.
+type Load struct {
+	Fset    *token.FileSet
+	Targets []*Package
+	Table   *annot.Table
+	Sizes   types.Sizes
+	// DirectiveErrs are malformed //prudence: comments anywhere in the
+	// module-local graph; they should fail the run like a bad build tag.
+	DirectiveErrs []Finding
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads the packages matching patterns, resolved relative
+// to dir, ready for analysis.
+func LoadPackages(dir string, patterns []string) (*Load, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	parsePkg := func(p listPkg) ([]*ast.File, error) {
+		if files, ok := parsed[p.ImportPath]; ok {
+			return files, nil
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		parsed[p.ImportPath] = files
+		return files, nil
+	}
+
+	load := &Load{
+		Fset:  fset,
+		Table: annot.NewTable(),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	exports := make(map[string]string)
+	for _, p := range universe {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard {
+			continue
+		}
+		files, err := parsePkg(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range load.Table.AddPackage(p.ImportPath, files) {
+			ae := e.(*annot.Error)
+			load.DirectiveErrs = append(load.DirectiveErrs, Finding{
+				Pos:      fset.Position(ae.Pos),
+				Message:  ae.Msg,
+				Analyzer: "annot",
+			})
+		}
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	for _, t := range targets {
+		files, err := parsePkg(t)
+		if err != nil {
+			return nil, err
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    load.Sizes,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, typeErrs[0])
+		}
+		load.Targets = append(load.Targets, &Package{
+			ImportPath: t.ImportPath,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return load, nil
+}
+
+// Run applies each analyzer to each target package and returns the
+// findings in deterministic (position, analyzer, message) order.
+func Run(load *Load, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, t := range load.Targets {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Fset:       load.Fset,
+				Files:      t.Files,
+				Pkg:        t.Pkg,
+				TypesInfo:  t.Info,
+				TypesSizes: load.Sizes,
+				Directives: load.Table,
+				Report: func(d analysis.Diagnostic) {
+					out = append(out, Finding{
+						Pos:      load.Fset.Position(d.Pos),
+						Message:  d.Message,
+						Analyzer: a.Name,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, t.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

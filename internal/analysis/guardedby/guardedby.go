@@ -1,0 +1,152 @@
+// Package guardedby enforces //prudence:guarded_by field annotations:
+// every read or write of an annotated field must happen while the
+// named lock class may be held (via Lock/LockRemote/TryLock/RLock, a
+// prudence:requires annotation on the enclosing function, or inside an
+// if-TryLock body).
+//
+// The guard spec names either a lock class ("Node", "PerCPUCache") or
+// a sibling field of the same struct whose type is a lock class
+// ("objs" on core's cpuLocal fields). Accesses through a local freshly
+// bound to a composite literal are exempt: an object is unpublished
+// until its constructor hands it out, so init-before-publish stores
+// need no lock (the same reasoning the kernel applies to
+// not-yet-visible objects).
+//
+// The check is class-based, not instance-based: holding ANY lock of
+// the guard's class satisfies the guard (see DESIGN.md §8).
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/lockstate"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "check that prudence:guarded_by fields are accessed only under their lock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if annot.FuncHas(fn, annot.VerbNoCheck, "guardedby") {
+				continue
+			}
+			w := &lockstate.Walker{
+				Info:  pass.TypesInfo,
+				Table: pass.Directives,
+			}
+			w.Hooks.OnNode = func(n ast.Node, st *lockstate.State) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				checkAccess(pass, st, sel)
+			}
+			w.Walk(fn)
+		}
+	}
+	return nil
+}
+
+func checkAccess(pass *analysis.Pass, st *lockstate.State, sel *ast.SelectorExpr) {
+	key := lockstate.FieldKey(pass.TypesInfo, sel)
+	if key == "" {
+		return
+	}
+	spec := pass.Directives.GuardSpec(key)
+	if spec == "" {
+		return
+	}
+	if guardHeld(pass, st, spec, sel) {
+		return
+	}
+	if base := baseIdent(sel); base != nil {
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[base]
+		}
+		if st.IsFresh(obj) {
+			return
+		}
+	}
+	pass.Reportf(sel.Sel.Pos(), "accesses %s without holding %s", shortKey(key), spec)
+}
+
+// guardHeld resolves the guard spec at this access site and reports
+// whether the state may hold it. Resolution order: a declared lock
+// class named by spec, then a sibling field of the access's owner
+// struct whose type carries a lock class.
+func guardHeld(pass *analysis.Pass, st *lockstate.State, spec string, sel *ast.SelectorExpr) bool {
+	if classes := pass.Directives.ResolveSpec(spec); len(classes) > 0 {
+		return st.HoldsSpec(spec)
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	owner := derefStruct(s.Recv())
+	if owner == nil {
+		return false
+	}
+	for i := 0; i < owner.NumFields(); i++ {
+		fld := owner.Field(i)
+		if fld.Name() != spec {
+			continue
+		}
+		if c := lockstate.ClassOfType(pass.Directives, fld.Type()); c != nil {
+			return st.HoldsClass(c.Key)
+		}
+	}
+	return false
+}
+
+func derefStruct(t types.Type) *types.Struct {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func shortKey(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return key[i+1:]
+		}
+	}
+	return key
+}

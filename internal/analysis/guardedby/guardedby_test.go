@@ -1,0 +1,18 @@
+package guardedby
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}
+
+// TestCrossPackage proves annotations on a real internal package
+// (slabcore) are honored when analyzing an importer that only sees it
+// through export data.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/b")
+}

@@ -1,0 +1,80 @@
+// Package a is the guardedby fixture: Counter.n and Counter.m are
+// guarded by the embedded Guard lock, named by class and by sibling
+// field respectively.
+package a
+
+import "sync"
+
+//prudence:lockorder 10
+type Guard struct{ mu sync.Mutex }
+
+func (g *Guard) Lock()         { g.mu.Lock() }
+func (g *Guard) Unlock()       { g.mu.Unlock() }
+func (g *Guard) TryLock() bool { return g.mu.TryLock() }
+
+type Counter struct {
+	g Guard
+	n int //prudence:guarded_by Guard
+	m int //prudence:guarded_by g
+}
+
+func Locked(c *Counter) int {
+	c.g.Lock()
+	defer c.g.Unlock()
+	c.n++
+	c.m = c.n
+	return c.m
+}
+
+func Unlocked(c *Counter) int {
+	c.n++      // want `accesses a\.Counter\.n without holding Guard`
+	return c.m // want `accesses a\.Counter\.m without holding g`
+}
+
+func LockedThenReleased(c *Counter) int {
+	c.g.Lock()
+	c.n = 1
+	c.g.Unlock()
+	return c.n // want `accesses a\.Counter\.n without holding Guard`
+}
+
+// A caller-holds contract satisfies the guard.
+//
+//prudence:requires Guard
+func Contract(c *Counter) {
+	c.n++
+	c.m++
+}
+
+// A fresh composite literal is unpublished: init stores need no lock.
+func New() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.m = 1
+	return c
+}
+
+// TryLock guards the body only.
+func Try(c *Counter) {
+	if c.g.TryLock() {
+		c.n++
+		c.g.Unlock()
+	}
+	c.m++ // want `accesses a\.Counter\.m without holding g`
+}
+
+// Both arms of a conditional acquisition count (may-hold union).
+func EitherLock(c *Counter, remote bool) {
+	if remote {
+		c.g.Lock()
+	} else {
+		c.g.Lock()
+	}
+	c.n++
+	c.g.Unlock()
+}
+
+//prudence:nocheck guardedby
+func Suppressed(c *Counter) int {
+	return c.n
+}

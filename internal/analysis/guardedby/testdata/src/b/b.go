@@ -1,0 +1,24 @@
+// Package b exercises cross-package guard checking: slabcore's
+// annotations travel through the annotation table even though this
+// package imports slabcore via export data.
+package b
+
+import "prudence/internal/slabcore"
+
+// Peek reads the cache contents without its owner-core lock.
+func Peek(c *slabcore.PerCPUCache) int {
+	return len(c.Objs) // want `accesses slabcore\.PerCPUCache\.Objs without holding PerCPUCache`
+}
+
+// PeekLocked is the correct idiom.
+func PeekLocked(c *slabcore.PerCPUCache) int {
+	c.Lock()
+	defer c.Unlock()
+	return len(c.Objs)
+}
+
+// Fresh caches are invisible to other CPUs; no lock needed.
+func Fresh() int {
+	c := slabcore.PerCPUCache{Size: 4}
+	return len(c.Objs)
+}

@@ -1,0 +1,96 @@
+// Package lockorder enforces the module's lock-acquisition order.
+//
+// Lock classes are declared with //prudence:lockorder <rank> on a lock
+// type or lock field. The analyzer flags any path that acquires a lock
+// of rank ≤ an already-held lock's rank: all chains must ascend. Locks
+// of the same class selected by constant array index (the buddy
+// allocator's shards) must be taken in ascending index order; when
+// either index is dynamic the escalation loop is trusted (pagealloc's
+// lockThrough walks indices upward by construction — a documented
+// soundness gap).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/lockstate"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check that lock classes are acquired in ascending prudence:lockorder rank",
+	Run:  run,
+}
+
+func short(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if annot.FuncHas(fn, annot.VerbNoCheck, "lockorder") {
+				continue
+			}
+			w := &lockstate.Walker{
+				Info:  pass.TypesInfo,
+				Table: pass.Directives,
+				Hooks: lockstate.Hooks{
+					OnAcquire: func(pos token.Pos, acq lockstate.Held, before *lockstate.State) {
+						check(pass, pos, acq, before)
+					},
+				},
+			}
+			w.Walk(fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, pos token.Pos, acq lockstate.Held, before *lockstate.State) {
+	for _, h := range before.Held {
+		switch {
+		case h.Class.Rank > acq.Class.Rank:
+			pass.Reportf(pos, "acquires %s (rank %d) while holding %s (rank %d); lock ranks must ascend",
+				short(acq.Class.Key), acq.Class.Rank, short(h.Class.Key), h.Class.Rank)
+		case h.Class.Rank == acq.Class.Rank:
+			// Same rank is a self-deadlock unless it is an indexed
+			// acquisition walking the array upward.
+			if acq.Dynamic || h.Dynamic {
+				continue
+			}
+			if acq.HasIndex && h.HasIndex {
+				if acq.Index > h.Index {
+					continue
+				}
+				pass.Reportf(pos, "acquires %s[%d] while holding %s[%d]; same-rank array locks must be taken in ascending index order",
+					short(acq.Class.Key), acq.Index, short(h.Class.Key), h.Index)
+				continue
+			}
+			if h.FromRequires && acq.HasIndex {
+				// The caller's held index is unknown; the indexed
+				// re-acquisition is the escalation idiom.
+				continue
+			}
+			if h.Class.Key == acq.Class.Key {
+				pass.Reportf(pos, "acquires %s (rank %d) while already holding it",
+					short(acq.Class.Key), acq.Class.Rank)
+			} else {
+				pass.Reportf(pos, "acquires %s while holding %s of equal rank %d; give the classes distinct ranks",
+					short(acq.Class.Key), short(h.Class.Key), acq.Class.Rank)
+			}
+		}
+	}
+}

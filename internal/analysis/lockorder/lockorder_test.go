@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,152 @@
+// Package a is the lockorder fixture: Low (rank 10) must be acquired
+// before High (rank 20); Shards (rank 30) are same-rank array locks
+// taken in ascending index order.
+package a
+
+import "sync"
+
+//prudence:lockorder 10
+type Low struct{ mu sync.Mutex }
+
+func (l *Low) Lock()         { l.mu.Lock() }
+func (l *Low) Unlock()       { l.mu.Unlock() }
+func (l *Low) TryLock() bool { return l.mu.TryLock() }
+
+//prudence:lockorder 20
+type High struct{ mu sync.Mutex }
+
+func (h *High) Lock()   { h.mu.Lock() }
+func (h *High) Unlock() { h.mu.Unlock() }
+
+//prudence:lockorder 30
+type Shard struct{ mu sync.Mutex }
+
+type Table struct{ shards [4]Shard }
+
+func Ascending(l *Low, h *High) {
+	l.Lock()
+	h.Lock()
+	h.Unlock()
+	l.Unlock()
+}
+
+func Descending(l *Low, h *High) {
+	h.Lock()
+	l.Lock() // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+	l.Unlock()
+	h.Unlock()
+}
+
+func DeferredAscending(l *Low, h *High) {
+	l.Lock()
+	defer l.Unlock()
+	h.Lock()
+	defer h.Unlock()
+}
+
+func DeferredDescending(l *Low, h *High) {
+	h.Lock()
+	defer h.Unlock()
+	l.Lock() // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+	defer l.Unlock()
+}
+
+// Sequential acquisition is not nesting: releasing High first makes the
+// later Low acquisition legal.
+func Sequential(l *Low, h *High) {
+	h.Lock()
+	h.Unlock()
+	l.Lock()
+	l.Unlock()
+}
+
+// An early-exit branch that releases the lock must not poison the
+// fall-through state.
+func EarlyRelease(l *Low, h *High, bail bool) {
+	h.Lock()
+	if bail {
+		h.Unlock()
+		l.Lock()
+		l.Unlock()
+		return
+	}
+	h.Unlock()
+	l.Lock()
+	l.Unlock()
+}
+
+func SelfDeadlock(l *Low) {
+	l.Lock()
+	l.Lock() // want `acquires a\.Low \(rank 10\) while already holding it`
+	l.Unlock()
+	l.Unlock()
+}
+
+// prudence:requires seeds the held set from the caller's contract.
+//
+//prudence:requires High
+func RequiresHigh(l *Low) {
+	l.Lock() // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+	l.Unlock()
+}
+
+//prudence:requires Low
+func RequiresLow(h *High) {
+	h.Lock()
+	h.Unlock()
+}
+
+// Same-rank array locks: ascending constant indices are the escalation
+// idiom; descending is a deadlock.
+func ShardAscending(t *Table) {
+	t.shards[0].mu.Lock()
+	t.shards[2].mu.Lock()
+	t.shards[2].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+func ShardDescending(t *Table) {
+	t.shards[2].mu.Lock()
+	t.shards[0].mu.Lock() // want `acquires a\.Shard\[0\] while holding a\.Shard\[2\]; same-rank array locks must be taken in ascending index order`
+	t.shards[0].mu.Unlock()
+	t.shards[2].mu.Unlock()
+}
+
+// Dynamic indices are trusted (the escalation loop walks upward by
+// construction).
+func ShardDynamic(t *Table, i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock()
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// A TryLock in an if-condition holds the lock inside the body only.
+func TryBody(l *Low, h *High) {
+	h.Lock()
+	if l.TryLock() { // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+		l.Unlock()
+	}
+	h.Unlock()
+	l.Lock()
+	l.Unlock()
+}
+
+// The nocheck escape hatch suppresses this analyzer only.
+//
+//prudence:nocheck lockorder
+func Suppressed(l *Low, h *High) {
+	h.Lock()
+	l.Lock()
+	l.Unlock()
+	h.Unlock()
+}
+
+// Plain sync.Mutex without an annotation is outside the order.
+func Unannotated(l *Low) {
+	var mu sync.Mutex
+	l.Lock()
+	mu.Lock()
+	mu.Unlock()
+	l.Unlock()
+}

@@ -1,0 +1,629 @@
+// Package lockstate is the shared flow walker behind the lockorder,
+// guardedby and rcucheck analyzers: it traverses one function body in
+// source order, tracking which annotated lock classes are held and the
+// read-side critical-section depth at every node.
+//
+// The walk is a pragmatic approximation of a control-flow analysis,
+// tuned for the idioms in this repository (see DESIGN.md §8 for the
+// soundness gaps):
+//
+//   - Branches are walked independently and merged with a may-hold
+//     union; branches that end in return/panic/break/continue do not
+//     contribute to the merge, so "unlock and bail" early exits do not
+//     poison the fall-through state.
+//   - defer x.Unlock() keeps the lock held to the end of the function
+//     (matching runtime behaviour for order/guard purposes).
+//   - Loop bodies are walked once; back-edge effects are ignored.
+//   - Function literals are walked with a clone of the current state
+//     (they run inline in this codebase); go-statement closures are
+//     walked with an empty state (they run concurrently).
+//   - Lock operations inside defer statements are not applied.
+package lockstate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"prudence/internal/analysis/annot"
+)
+
+// Held is one lock-class acquisition in flight.
+type Held struct {
+	Class *annot.Class
+	// HasIndex reports the lock was selected from an array/slice
+	// (shards[i].mu); Index is its value when constant, Dynamic true
+	// otherwise.
+	HasIndex bool
+	Dynamic  bool
+	Index    int64
+	// FromRequires marks classes seeded by a prudence:requires
+	// annotation rather than an acquisition in the body.
+	FromRequires bool
+	Pos          token.Pos
+}
+
+// key identifies a held entry for deduplication across branch merges.
+func (h Held) key() string {
+	switch {
+	case h.Dynamic:
+		return h.Class.Key + "[?]"
+	case h.HasIndex:
+		return fmt.Sprintf("%s[%d]", h.Class.Key, h.Index)
+	default:
+		return h.Class.Key
+	}
+}
+
+// State is the lock context at one program point.
+type State struct {
+	Held      []Held
+	ReadDepth int
+	shared    *shared
+}
+
+type shared struct {
+	fresh map[types.Object]bool
+}
+
+// HoldsClass reports whether any held entry has exactly the class key.
+func (s *State) HoldsClass(key string) bool {
+	for _, h := range s.Held {
+		if h.Class.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsSpec reports whether any held entry's class is named by spec.
+func (s *State) HoldsSpec(spec string) bool {
+	for _, h := range s.Held {
+		if annot.MatchSpec(h.Class.Key, spec) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFresh reports whether obj is a local constructed from a composite
+// literal in this function (an unpublished object: its fields may be
+// initialized without holding their guard).
+func (s *State) IsFresh(obj types.Object) bool {
+	return obj != nil && s.shared.fresh[obj]
+}
+
+func (s *State) clone() *State {
+	return &State{Held: append([]Held(nil), s.Held...), ReadDepth: s.ReadDepth, shared: s.shared}
+}
+
+// merge unions the other state into s, deduplicating held entries.
+func (s *State) merge(o *State) {
+	have := make(map[string]bool, len(s.Held))
+	for _, h := range s.Held {
+		have[h.key()] = true
+	}
+	for _, h := range o.Held {
+		if !have[h.key()] {
+			have[h.key()] = true
+			s.Held = append(s.Held, h)
+		}
+	}
+	if o.ReadDepth > s.ReadDepth {
+		s.ReadDepth = o.ReadDepth
+	}
+}
+
+// Hooks are the analyzer callbacks driven by Walk.
+type Hooks struct {
+	// OnAcquire fires for each recognized acquisition with the state
+	// BEFORE the lock is added (lockorder's input).
+	OnAcquire func(pos token.Pos, acq Held, before *State)
+	// OnNode fires for every AST node in source order with the state at
+	// that point (guardedby's and rcucheck's input).
+	OnNode func(n ast.Node, st *State)
+}
+
+// Op kinds recognized on annotated classes.
+const (
+	opNone = iota
+	opAcquire
+	opRelease
+	opReadLock
+	opReadUnlock
+)
+
+var methodOps = map[string]int{
+	"Lock":       opAcquire,
+	"LockRemote": opAcquire,
+	"TryLock":    opAcquire,
+	"RLock":      opAcquire,
+	"Unlock":     opRelease,
+	"RUnlock":    opRelease,
+	"ReadLock":   opReadLock,
+	"ReadUnlock": opReadUnlock,
+}
+
+// Walker runs the traversal for one package.
+type Walker struct {
+	Info  *types.Info
+	Table *annot.Table
+	Hooks Hooks
+}
+
+// Walk traverses fn's body, seeding held classes from its
+// prudence:requires annotations and read depth from prudence:rcu_read.
+func (w *Walker) Walk(fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	st := &State{shared: &shared{fresh: make(map[types.Object]bool)}}
+	for _, spec := range annot.FuncRequires(fn) {
+		for _, c := range w.Table.ResolveSpec(spec) {
+			st.Held = append(st.Held, Held{Class: c, FromRequires: true, Pos: fn.Pos()})
+		}
+	}
+	if annot.FuncHas(fn, annot.VerbRCURead, "") {
+		st.ReadDepth = 1
+	}
+	w.block(fn.Body, st)
+}
+
+// NamedKey returns the "pkgpath.Name" key of t after stripping
+// pointers, or "" when t is not a defined type.
+func NamedKey(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// ClassOfType returns the class declared on t (after deref), or nil.
+func ClassOfType(table *annot.Table, t types.Type) *annot.Class {
+	if key := NamedKey(t); key != "" {
+		return table.ClassByKey(key)
+	}
+	return nil
+}
+
+// FieldKey returns "pkgpath.Owner.field" for a selector that resolves
+// to a struct field, or "".
+func FieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	owner := NamedKey(s.Recv())
+	if owner == "" {
+		return ""
+	}
+	return owner + "." + sel.Sel.Name
+}
+
+// LockClassOf resolves the lock class of a lock-method receiver
+// expression: the receiver's own named type first, then (for selector
+// receivers like a.shards[g].mu) the field's annotation, the enclosing
+// struct type's annotation, and finally the field type's annotation.
+func LockClassOf(info *types.Info, table *annot.Table, recv ast.Expr) *annot.Class {
+	if tv, ok := info.Types[recv]; ok {
+		if c := ClassOfType(table, tv.Type); c != nil {
+			return c
+		}
+	}
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if key := FieldKey(info, sel); key != "" {
+			if c := table.ClassByKey(key); c != nil {
+				return c
+			}
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if c := ClassOfType(table, s.Recv()); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// classify inspects a call expression for a lock operation on an
+// annotated class.
+func (w *Walker) classify(call *ast.CallExpr) (op int, h Held) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, h
+	}
+	kind, ok := methodOps[sel.Sel.Name]
+	if !ok {
+		return opNone, h
+	}
+	if kind == opReadLock || kind == opReadUnlock {
+		// Read-side markers are recognized by method name on any
+		// receiver (rcu.RCU, ebr epochs, the ReadSync interface).
+		return kind, h
+	}
+	class := LockClassOf(w.Info, w.Table, sel.X)
+	if class == nil {
+		return opNone, h
+	}
+	h = Held{Class: class, Pos: call.Pos()}
+	// Find an index step in the receiver chain (shards[g].mu → g).
+	for expr := sel.X; ; {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+			continue
+		case *ast.IndexExpr:
+			h.HasIndex = true
+			if tv, ok := w.Info.Types[e.Index]; ok && tv.Value != nil {
+				// constant.Val for ints fits int64 in all our uses.
+				if v, exact := constInt64(tv); exact {
+					h.Index = v
+				} else {
+					h.Dynamic = true
+				}
+			} else {
+				h.Dynamic = true
+			}
+		}
+		break
+	}
+	return kind, h
+}
+
+func (w *Walker) acquire(st *State, h Held) {
+	if w.Hooks.OnAcquire != nil {
+		w.Hooks.OnAcquire(h.Pos, h, st)
+	}
+	st.Held = append(st.Held, h)
+}
+
+func (w *Walker) release(st *State, class *annot.Class) {
+	for i := len(st.Held) - 1; i >= 0; i-- {
+		if st.Held[i].Class.Key == class.Key {
+			st.Held = append(st.Held[:i], st.Held[i+1:]...)
+			return
+		}
+	}
+}
+
+// applyCall applies a statement-level lock operation to st.
+func (w *Walker) applyCall(call *ast.CallExpr, st *State) {
+	op, h := w.classify(call)
+	switch op {
+	case opAcquire:
+		w.acquire(st, h)
+	case opRelease:
+		sel := call.Fun.(*ast.SelectorExpr)
+		if class := LockClassOf(w.Info, w.Table, sel.X); class != nil {
+			w.release(st, class)
+		}
+	case opReadLock:
+		st.ReadDepth++
+	case opReadUnlock:
+		if st.ReadDepth > 0 {
+			st.ReadDepth--
+		}
+	}
+}
+
+// expr visits an expression subtree, reporting every node to OnNode.
+// Function literals are walked as nested bodies with a cloned state.
+func (w *Walker) expr(e ast.Expr, st *State) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if w.Hooks.OnNode != nil {
+				w.Hooks.OnNode(fl, st)
+			}
+			w.block(fl.Body, st.clone())
+			return false
+		}
+		if n != nil && w.Hooks.OnNode != nil {
+			w.Hooks.OnNode(n, st)
+		}
+		return true
+	})
+}
+
+// asTryLock returns the call and held entry when e is a TryLock-style
+// acquisition on an annotated class.
+func (w *Walker) asTryLock(e ast.Expr) (h Held, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return h, false
+	}
+	op, h := w.classify(call)
+	if op != opAcquire {
+		return h, false
+	}
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "TryLock" {
+		return h, true
+	}
+	return h, false
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// markFresh records locals bound to composite literals.
+func (w *Walker) markFresh(st *State, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := rhs[i]
+		if u, isU := v.(*ast.UnaryExpr); isU && u.Op == token.AND {
+			v = u.X
+		}
+		if _, isLit := v.(*ast.CompositeLit); !isLit {
+			continue
+		}
+		if obj := w.Info.Defs[id]; obj != nil {
+			st.shared.fresh[obj] = true
+		} else if obj := w.Info.Uses[id]; obj != nil {
+			st.shared.fresh[obj] = true
+		}
+	}
+}
+
+// stmt walks one statement; the return reports whether control cannot
+// continue past it on this path.
+func (w *Walker) stmt(s ast.Stmt, st *State) (terminated bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isPanic(w.Info, call) {
+				return true
+			}
+			w.applyCall(call, st)
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, st)
+		}
+		w.markFresh(st, s.Lhs, s.Rhs)
+		// ok := x.TryLock() — treat as held from here on (may-hold).
+		if len(s.Rhs) == 1 {
+			if h, ok := w.asTryLock(s.Rhs[0]); ok {
+				w.acquire(st, h)
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+					var lhs []ast.Expr
+					for _, n := range vs.Names {
+						lhs = append(lhs, n)
+					}
+					w.markFresh(st, lhs, vs.Values)
+				}
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+		return false
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// Report the subtree but apply no lock ops: a deferred Unlock
+		// runs at exit, so the lock stays held for the walk.
+		w.expr(s.Call, st)
+		return false
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: walk its closure with an
+		// empty state.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body, &State{shared: st.shared})
+		} else {
+			w.expr(s.Call.Fun, st)
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.block(s, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		w.stmt(s.Init, st)
+		var thenSt *State
+		if h, ok := w.asTryLock(s.Cond); ok {
+			// if x.TryLock() { ... }: held inside the body only.
+			w.expr(s.Cond, st)
+			thenSt = st.clone()
+			w.acquire(thenSt, h)
+		} else if u, isU := s.Cond.(*ast.UnaryExpr); isU && u.Op == token.NOT {
+			if h, ok := w.asTryLock(u.X); ok {
+				// if !x.TryLock() { bail }: held after the if when the
+				// body terminates.
+				w.expr(s.Cond, st)
+				bodySt := st.clone()
+				if w.block(s.Body, bodySt) {
+					w.acquire(st, h)
+					return false
+				}
+				st.merge(bodySt)
+				return false
+			}
+			w.expr(s.Cond, st)
+		} else {
+			w.expr(s.Cond, st)
+		}
+		if thenSt == nil {
+			thenSt = st.clone()
+		}
+		thenTerm := w.block(s.Body, thenSt)
+		if s.Else == nil {
+			if !thenTerm {
+				st.merge(thenSt)
+			}
+			return false
+		}
+		elseSt := st.clone()
+		elseTerm := w.stmt(s.Else, elseSt)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *thenSt
+			st.merge(elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, st)
+		bodySt := st.clone()
+		term := w.block(s.Body, bodySt)
+		w.stmt(s.Post, bodySt)
+		if !term {
+			st.merge(bodySt)
+		}
+		return false
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		bodySt := st.clone()
+		if !w.block(s.Body, bodySt) {
+			st.merge(bodySt)
+		}
+		return false
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Tag, st)
+		w.mergeClauses(s.Body, st, hasDefault(s.Body))
+		return false
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, st)
+		w.stmt(s.Assign, st)
+		w.mergeClauses(s.Body, st, hasDefault(s.Body))
+		return false
+	case *ast.SelectStmt:
+		w.mergeClauses(s.Body, st, true)
+		return false
+	default:
+		// Anything unrecognized: inspect for completeness.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n != nil && w.Hooks.OnNode != nil {
+				w.Hooks.OnNode(n, st)
+			}
+			return true
+		})
+		return false
+	}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeClauses walks each case/comm clause on a clone and unions the
+// non-terminating results; without a default the incoming state is one
+// of the outcomes.
+func (w *Walker) mergeClauses(body *ast.BlockStmt, st *State, exhaustive bool) {
+	out := st.clone()
+	if exhaustive {
+		out = nil
+	}
+	for _, c := range body.List {
+		clauseSt := st.clone()
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(e, clauseSt)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			w.stmt(cc.Comm, clauseSt)
+			stmts = cc.Body
+		}
+		term := false
+		for _, s2 := range stmts {
+			if w.stmt(s2, clauseSt) {
+				term = true
+			}
+		}
+		if !term {
+			if out == nil {
+				out = clauseSt
+			} else {
+				out.merge(clauseSt)
+			}
+		}
+	}
+	if out != nil {
+		*st = *out
+	}
+}
+
+func (w *Walker) block(b *ast.BlockStmt, st *State) (terminated bool) {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.List {
+		if w.stmt(s, st) {
+			terminated = true
+		}
+	}
+	return terminated
+}
+
+func constInt64(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}

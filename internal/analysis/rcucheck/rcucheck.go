@@ -1,0 +1,304 @@
+// Package rcucheck is the sparse-__rcu analogue for this module's RCU
+// discipline. It enforces two contracts:
+//
+//  1. Fields annotated //prudence:rcu [<writer-spec>] are RCU-published
+//     pointers. Loading one requires a read-side critical section
+//     (a ReadLock call in scope, or a //prudence:rcu_read caller
+//     contract) or the writer lock; storing one requires the declared
+//     writer lock class (rcu_assign_pointer discipline). Stores are
+//     unchecked when no writer spec is declared.
+//
+//  2. A value passed to any FreeDeferred method is dead to the caller:
+//     the paper's no-touch-after-defer rule. Any later use of the same
+//     variable (or a field/element reached through it) in the function
+//     is flagged; rebinding the variable kills the taint.
+package rcucheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/lockstate"
+)
+
+// Analyzer is the rcucheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "rcucheck",
+	Doc:  "check read-side access to prudence:rcu pointers and no-use-after-FreeDeferred",
+	Run:  run,
+}
+
+var rcuMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if annot.FuncHas(fn, annot.VerbNoCheck, "rcucheck") {
+				continue
+			}
+			checkRCUPointers(pass, fn)
+			checkFreeDeferred(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkRCUPointers walks fn with lock/read-depth state and validates
+// every accessor call on an annotated pointer field.
+func checkRCUPointers(pass *analysis.Pass, fn *ast.FuncDecl) {
+	w := &lockstate.Walker{Info: pass.TypesInfo, Table: pass.Directives}
+	w.Hooks.OnNode = func(n ast.Node, st *lockstate.State) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !rcuMethods[sel.Sel.Name] {
+			return
+		}
+		fieldSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		key := lockstate.FieldKey(pass.TypesInfo, fieldSel)
+		if key == "" {
+			return
+		}
+		info, ok := pass.Directives.RCUPtrInfo(key)
+		if !ok {
+			return
+		}
+		if base := baseIdent(fieldSel); base != nil {
+			obj := pass.TypesInfo.Uses[base]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[base]
+			}
+			if st.IsFresh(obj) {
+				return // init-before-publish
+			}
+		}
+		writerHeld := info.Writer != "" && st.HoldsSpec(info.Writer)
+		if sel.Sel.Name == "Load" {
+			if st.ReadDepth == 0 && !writerHeld {
+				pass.Reportf(sel.Sel.Pos(), "loads RCU pointer %s outside a read-side critical section", shortKey(key))
+			}
+			return
+		}
+		if info.Writer == "" {
+			return // store discipline unknown without a writer spec
+		}
+		if !writerHeld {
+			pass.Reportf(sel.Sel.Pos(), "publishes RCU pointer %s without holding writer lock %s", shortKey(key), info.Writer)
+		}
+	}
+	w.Walk(fn)
+}
+
+// taintKey identifies a tainted storage path by the base variable's
+// types.Object plus the rendered path. Keying on the object (not the
+// name) means a later variable that merely reuses the name — a new
+// range variable, a shadowing declaration — carries no stale taint.
+type taintKey struct {
+	obj  types.Object
+	path string
+}
+
+// checkFreeDeferred implements the no-touch-after-defer taint: once a
+// value is handed to FreeDeferred, later uses in source order are
+// reported until the variable is rebound. if/else branches are walked
+// with separate taint sets and merged by union (may-taint), so a
+// deferred free in one branch does not poison its sibling branch but
+// still covers everything after the if.
+func checkFreeDeferred(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	taints := make(map[taintKey]token.Pos)
+
+	keyOf := func(e ast.Expr) (taintKey, bool) {
+		path := exprPath(e)
+		if path == "" {
+			return taintKey{}, false
+		}
+		base := baseIdent(e)
+		if base == nil {
+			return taintKey{}, false
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[base]
+		}
+		if obj == nil {
+			return taintKey{}, false
+		}
+		return taintKey{obj: obj, path: path}, true
+	}
+
+	checkUse := func(e ast.Expr, k taintKey) bool {
+		for tk, pos := range taints {
+			if tk.obj != k.obj || e.Pos() <= pos {
+				continue
+			}
+			if k.path == tk.path || strings.HasPrefix(k.path, tk.path+".") {
+				pass.Reportf(e.Pos(), "uses %s after it was passed to FreeDeferred", k.path)
+				return true
+			}
+		}
+		return false
+	}
+
+	var visit func(n ast.Node) bool
+	inspect := func(n ast.Node) {
+		if n != nil {
+			ast.Inspect(n, visit)
+		}
+	}
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				inspect(x.Init)
+			}
+			inspect(x.Cond)
+			before := make(map[taintKey]token.Pos, len(taints))
+			for k, v := range taints {
+				before[k] = v
+			}
+			inspect(x.Body)
+			afterThen := taints
+			taints = before
+			if x.Else != nil {
+				inspect(x.Else)
+			}
+			for k, v := range afterThen { // union: taint from either branch
+				if _, ok := taints[k]; !ok {
+					taints[k] = v
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				inspect(r)
+			}
+			for _, l := range x.Lhs {
+				k, ok := keyOf(l)
+				switch {
+				case !ok:
+					inspect(l)
+				case strings.IndexByte(k.path, '.') < 0:
+					// Rebinding the variable itself kills every taint
+					// rooted at it.
+					for tk := range taints {
+						if tk.obj == k.obj {
+							delete(taints, tk)
+						}
+					}
+				default:
+					if _, tainted := taints[k]; tainted {
+						delete(taints, k) // rebinding the tainted field
+						continue
+					}
+					if checkUse(l, k) {
+						continue
+					}
+					inspect(l)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "FreeDeferred" {
+				inspect(x.Fun)
+				for _, arg := range x.Args {
+					inspect(arg)
+				}
+				for _, arg := range x.Args {
+					if isScalar(pass.TypesInfo, arg) {
+						continue
+					}
+					if k, ok := keyOf(arg); ok {
+						taints[k] = x.End()
+					}
+				}
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			if k, ok := keyOf(x); ok {
+				if checkUse(x, k) {
+					return false
+				}
+			}
+			return true
+		case *ast.Ident:
+			if k, ok := keyOf(x); ok {
+				checkUse(x, k)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// exprPath renders a pure ident/selector chain ("c.base.n"), or "".
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// isScalar reports whether arg's type is a basic type (ints, strings):
+// scalars passed to FreeDeferred (the cpu number) carry no freed state.
+func isScalar(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return basic
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

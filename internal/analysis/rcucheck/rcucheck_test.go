@@ -1,0 +1,11 @@
+package rcucheck
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestRCUCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,130 @@
+// Package a is the rcucheck fixture: List.head is an RCU-published
+// pointer with WMu as its writer lock, and FreeDeferred kills its
+// argument.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RS mimics internal/rcu's read-side API: recognition is by method
+// name, so any type with ReadLock/ReadUnlock works.
+type RS struct{}
+
+func (r *RS) ReadLock(cpu int)   {}
+func (r *RS) ReadUnlock(cpu int) {}
+
+//prudence:lockorder 10
+type WMu struct{ mu sync.Mutex }
+
+func (w *WMu) Lock()   { w.mu.Lock() }
+func (w *WMu) Unlock() { w.mu.Unlock() }
+
+type Node struct{ V int }
+
+type List struct {
+	wmu  WMu
+	head atomic.Pointer[Node] //prudence:rcu WMu
+}
+
+func GoodRead(l *List, r *RS) *Node {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	return l.head.Load()
+}
+
+func BadRead(l *List) *Node {
+	return l.head.Load() // want `loads RCU pointer a\.List\.head outside a read-side critical section`
+}
+
+// Holding the writer lock is as good as a read-side section.
+func WriterRead(l *List) *Node {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return l.head.Load()
+}
+
+func GoodPublish(l *List, n *Node) {
+	l.wmu.Lock()
+	l.head.Store(n)
+	l.wmu.Unlock()
+}
+
+func BadPublish(l *List, n *Node) {
+	l.head.Store(n) // want `publishes RCU pointer a\.List\.head without holding writer lock WMu`
+}
+
+// The rcu_read contract marks callers already inside a section.
+//
+//prudence:rcu_read
+func Marked(l *List) *Node {
+	return l.head.Load()
+}
+
+// A fresh list is unpublished; its constructor may store directly.
+func NewList(n *Node) *List {
+	l := &List{}
+	l.head.Store(n)
+	return l
+}
+
+// Cache mimics the allocator's deferred-free entry point.
+type Cache struct{}
+
+func (c *Cache) FreeDeferred(cpu int, n *Node) {}
+
+func UseAfterFree(c *Cache, n *Node) int {
+	c.FreeDeferred(0, n)
+	return n.V // want `uses n\.V after it was passed to FreeDeferred`
+}
+
+func WriteAfterFree(c *Cache, n *Node) {
+	c.FreeDeferred(0, n)
+	n.V = 1 // want `uses n\.V after it was passed to FreeDeferred`
+}
+
+// Rebinding the variable kills the taint.
+func Rebind(c *Cache, n *Node) int {
+	c.FreeDeferred(0, n)
+	n = &Node{}
+	return n.V
+}
+
+// Uses before the deferred free are fine.
+func UseBefore(c *Cache, n *Node) int {
+	v := n.V
+	c.FreeDeferred(0, n)
+	return v
+}
+
+// A sibling else-branch is unreachable from the then-branch's deferred
+// free, but code after the if is covered from either branch.
+func Branches(c *Cache, n *Node, deferred bool) int {
+	if deferred {
+		c.FreeDeferred(0, n)
+	} else {
+		c.Free(0, n)
+	}
+	return n.V // want `uses n\.V after it was passed to FreeDeferred`
+}
+
+func (c *Cache) Free(cpu int, n *Node) {}
+
+// A new variable that merely reuses the name carries no taint.
+func NameReuse(c *Cache, ns []*Node) int {
+	for _, n := range ns {
+		c.FreeDeferred(0, n)
+	}
+	sum := 0
+	for _, n := range ns {
+		sum += n.V
+	}
+	return sum
+}
+
+//prudence:nocheck rcucheck
+func Suppressed(c *Cache, n *Node) int {
+	c.FreeDeferred(0, n)
+	return n.V
+}

@@ -113,8 +113,12 @@ type Allocator struct {
 	machine *vcpu.Machine
 	opts    Options
 
+	// mu guards the cache registry only; it ranks below every
+	// allocation-path lock and is never held across one.
+	//
+	//prudence:lockorder 5
 	mu     sync.Mutex
-	caches []alloc.Cache
+	caches []alloc.Cache //prudence:guarded_by mu
 }
 
 var _ alloc.Allocator = (*Allocator)(nil)
@@ -196,22 +200,24 @@ type latentObj struct {
 // instead, so a post-grace-period merge can never overflow the object
 // cache. Padded to 128 bytes so adjacent CPUs' cpuLocals never share a
 // cache line (or an adjacent-line prefetch pair).
+//
+//prudence:padded 128
 type cpuLocal struct {
 	objs   *slabcore.PerCPUCache
-	latent []latentObj
+	latent []latentObj //prudence:guarded_by objs
 
 	// preflushArmed avoids queueing more than one pre-flush work item.
-	preflushArmed bool
+	preflushArmed bool //prudence:guarded_by objs
 
 	// op counts since the last pre-flush decision, used for the
 	// aggressive/lazy pre-flush rate heuristic (§4.2).
-	allocsSince int
-	freesSince  int
+	allocsSince int //prudence:guarded_by objs
+	freesSince  int //prudence:guarded_by objs
 
 	// prediction window counters (EnablePrediction): immediate-path
 	// traffic since the last overflow flush.
-	predAllocs int
-	predFrees  int
+	predAllocs int //prudence:guarded_by objs
+	predFrees  int //prudence:guarded_by objs
 
 	// elapsedMax caches the highest grace-period cookie this CPU has
 	// observed to elapse. Cookies are monotone ("once elapsed, always
@@ -219,7 +225,7 @@ type cpuLocal struct {
 	// at or below the cached value answer locally instead of re-reading
 	// the engine's shared completed-GP line on every latent-entry poll.
 	// Guarded by the cache lock.
-	elapsedMax rcu.Cookie
+	elapsedMax rcu.Cookie //prudence:guarded_by objs
 
 	// elapsedFn is the prebuilt cached-poll closure handed to
 	// slabcore.Reconcile from paths holding this CPU's cache lock,
@@ -277,6 +283,8 @@ func (c *Cache) elapsed(ck rcu.Cookie) bool { return c.alloc.rcu.Elapsed(ck) }
 // cookie when possible, touching the engine's shared state only for
 // cookies not yet known to have elapsed (and remembering the answer).
 // Caller holds cl's cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *Cache) elapsedLocal(cl *cpuLocal, ck rcu.Cookie) bool {
 	if ck <= cl.elapsedMax {
 		return true
@@ -404,6 +412,8 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 // splice transfers it in a single pass — the common cases (nothing
 // elapsed, or everything has) cost one comparison per entry and at
 // most one read of the engine's shared state.
+//
+//prudence:requires PerCPUCache
 func (c *Cache) mergeCaches(cl *cpuLocal) int {
 	room := cl.objs.Size - cl.objs.Len()
 	if room <= 0 || len(cl.latent) == 0 {
@@ -430,6 +440,8 @@ func (c *Cache) mergeCaches(cl *cpuLocal) int {
 // fragmentation. Objects move by whole freelist segments (FillFrom),
 // one splice per selected slab under the node lock. Caller holds cl's
 // cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *Cache) refill(cpu int, cl *cpuLocal) {
 	full := cl.objs.Size - cl.objs.Len()
 	want := full
@@ -623,6 +635,8 @@ func (c *Cache) Free(cpu int, r slabcore.Ref) {
 // flushed grows with the latent backlog, and — with the prediction
 // extension — shrinks when freed objects are predicted to be
 // reallocated shortly. Caller holds cl's cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *Cache) flushLocked(cpu int, cl *cpuLocal) {
 	n := cl.objs.Len()/2 + len(cl.latent)
 	if c.alloc.opts.EnablePrediction {
@@ -751,6 +765,8 @@ func (c *Cache) maybeShrink(node *slabcore.Node) {
 
 // armPreflush schedules an idle-time pre-flush for this CPU if one is
 // not already queued. Caller holds cl's cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *Cache) armPreflush(cpu int, cl *cpuLocal) {
 	if c.alloc.opts.DisablePreFlush || cl.preflushArmed {
 		return

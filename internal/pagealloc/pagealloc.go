@@ -95,17 +95,31 @@ type Stats struct {
 // runs allocated at this group's orders. Padded so the shards in the
 // array do not false-share (128 bytes covers the adjacent-line
 // prefetcher's pairs).
+//
+// The rank sits below slabcore.Node (20) deliberately: taking a buddy
+// shard lock while holding a node lock is the contract violation the
+// paper's design rules out (page allocation must never run under the
+// node list lock), and lockorder flags it.
+//
+//prudence:lockorder 15
+//prudence:padded 128
 type shard struct {
-	mu       sync.Mutex
-	blockOrd map[int]int // start page of allocated block -> order
+	mu sync.Mutex
+	// blockOrd maps start page of an allocated block to its order.
+	//prudence:guarded_by shard
+	blockOrd map[int]int
 	_        [112]byte
 }
 
 // freeList is one order's free blocks, split by content state. Guarded
 // by shards[groupOf(order)].mu.
 type freeList struct {
-	dirty  map[int]struct{} // start page -> member; content unknown
-	zeroed map[int]struct{} // start page -> member; known all-zero
+	// dirty holds start pages of free blocks with unknown content.
+	//prudence:guarded_by shard
+	dirty map[int]struct{}
+	// zeroed holds start pages of free blocks known to be all-zero.
+	//prudence:guarded_by shard
+	zeroed map[int]struct{}
 }
 
 // Allocator is a binary buddy allocator. It is safe for concurrent use.
@@ -114,6 +128,7 @@ type Allocator struct {
 
 	shards [numShards]shard
 	// lists[o] is guarded by shards[groupOf(o)].mu.
+	//prudence:guarded_by shard
 	lists [MaxOrder + 1]freeList
 
 	freePages atomic.Int64
@@ -135,9 +150,14 @@ type Allocator struct {
 	// inserts a dirty block — the pre-zeroing arm hook.
 	onDirtyFree atomic.Pointer[func()]
 
-	pressMu     sync.Mutex
-	pressureAt  int // used-page watermark above which pressure holds
-	underPress  bool
+	//prudence:lockorder 60
+	pressMu sync.Mutex
+	// pressureAt is the used-page watermark above which pressure holds.
+	//prudence:guarded_by pressMu
+	pressureAt int
+	//prudence:guarded_by pressMu
+	underPress bool
+	//prudence:guarded_by pressMu
 	pressureSub []func(under bool)
 }
 
@@ -231,6 +251,8 @@ func (a *Allocator) UnderPressure() bool {
 // takeFreeAt removes one free block of order o, preferring the zeroed
 // or dirty pool per preferZeroed but falling back to the other. Caller
 // holds shards[groupOf(o)].mu.
+//
+//prudence:requires shard
 func (a *Allocator) takeFreeAt(o int, preferZeroed bool) (start int, zeroed, ok bool) {
 	l := &a.lists[o]
 	first, second := l.dirty, l.zeroed
@@ -258,6 +280,8 @@ func (a *Allocator) takeFreeAt(o int, preferZeroed bool) (start int, zeroed, ok 
 
 // insertFree adds a free block at order o. Caller holds
 // shards[groupOf(o)].mu.
+//
+//prudence:requires shard
 func (a *Allocator) insertFree(o, start int, zeroed bool) {
 	if zeroed {
 		a.lists[o].zeroed[start] = struct{}{}
@@ -269,6 +293,8 @@ func (a *Allocator) insertFree(o, start int, zeroed bool) {
 // removeIfFree removes the block at (o, start) from the free lists if
 // present, reporting whether it was there and whether it was zeroed.
 // Caller holds shards[groupOf(o)].mu.
+//
+//prudence:requires shard
 func (a *Allocator) removeIfFree(o, start int) (zeroed, ok bool) {
 	if _, in := a.lists[o].dirty[start]; in {
 		delete(a.lists[o].dirty, start)
@@ -285,6 +311,8 @@ func (a *Allocator) removeIfFree(o, start int) (zeroed, ok bool) {
 // updating *locked. Lock-order discipline: group locks are only ever
 // taken ascending, so split/coalesce escalation across shards cannot
 // deadlock against concurrent escalations.
+//
+//prudence:requires shard
 func (a *Allocator) lockThrough(locked *int, g int) {
 	for *locked < g {
 		*locked++
@@ -293,6 +321,8 @@ func (a *Allocator) lockThrough(locked *int, g int) {
 }
 
 // unlockFrom releases shard locks [g, locked], highest first.
+//
+//prudence:requires shard
 func (a *Allocator) unlockFrom(g, locked int) {
 	for i := locked; i >= g; i-- {
 		a.shards[i].mu.Unlock()
@@ -385,6 +415,8 @@ func (a *Allocator) tryAlloc(order int, preferZeroed bool) (Run, bool, bool) {
 // every constituent was. Caller holds shards[groupOf(order)].mu (and
 // nothing higher); *locked tracks the highest group locked and is
 // updated as locks are taken.
+//
+//prudence:requires shard
 func (a *Allocator) coalesceInsert(start, order int, zeroed bool, locked *int) {
 	o := order
 	for o < MaxOrder {

@@ -124,7 +124,9 @@ type cpuState struct {
 	qsSeq   atomic.Uint64
 	idle    atomic.Bool
 
+	//prudence:lockorder 40
 	cbMu sync.Mutex
+	//prudence:guarded_by cbMu
 	cbs  []callback
 	wake chan struct{}
 
@@ -155,7 +157,9 @@ type RCU struct {
 	needGP   atomic.Bool  // external demand for a grace period (Prudence)
 	pressure atomic.Bool
 
-	gpMu   sync.Mutex
+	//prudence:lockorder 50
+	gpMu sync.Mutex
+	//prudence:guarded_by gpMu
 	gpCond *sync.Cond
 	kick   chan struct{}
 

@@ -34,9 +34,13 @@ type Map struct {
 	cache alloc.Cache
 	rcu   Sync
 
-	table atomic.Pointer[table]
+	table atomic.Pointer[table] //prudence:rcu resizeMu
 	// resizeMu serializes resizes; normal writers only take per-bucket
-	// locks inside rculist.
+	// locks inside rculist. It ranks below the bucket writer locks
+	// (rculist.List.wmu, rank 8) because Resize holds it across bucket
+	// rebuild operations.
+	//
+	//prudence:lockorder 7
 	resizeMu sync.Mutex
 }
 
@@ -81,12 +85,25 @@ func (t *table) bucket(key uint64) *rculist.List {
 // ValueSize returns the payload capacity of each entry.
 func (m *Map) ValueSize() int { return m.cache.ObjectSize() }
 
+// loadTable reads the table pointer outside a read-side critical
+// section. That is safe for the pointer itself — the table struct and
+// its bucket lists are GC-backed, so an old table stays valid however
+// late it is dereferenced; only payload slices handed out by buckets
+// need grace-period protection. Writer-path callers (Put, Delete)
+// additionally rely on the single-resizer rule: writers quiesce during
+// a resize, so they can never load a table mid-swap. Read paths that
+// DO return payload data (Get, ForEach) load the pointer inside their
+// critical sections instead and are checked.
+//
+//prudence:nocheck rcucheck
+func (m *Map) loadTable() *table { return m.table.Load() }
+
 // Buckets returns the current bucket count.
-func (m *Map) Buckets() int { return len(m.table.Load().buckets) }
+func (m *Map) Buckets() int { return len(m.loadTable().buckets) }
 
 // Len returns the number of entries (approximate under concurrency).
 func (m *Map) Len() int {
-	t := m.table.Load()
+	t := m.loadTable()
 	n := 0
 	for _, b := range t.buckets {
 		n += b.Len()
@@ -109,7 +126,7 @@ func (m *Map) Get(cpu int, key uint64, buf []byte) (int, bool) {
 // Put inserts or replaces key's value. A replace defer-frees the old
 // payload (copy-update); an insert allocates fresh.
 func (m *Map) Put(cpu int, key uint64, value []byte) error {
-	b := m.table.Load().bucket(key)
+	b := m.loadTable().bucket(key)
 	found, err := b.Update(cpu, key, value)
 	if err != nil || found {
 		return err
@@ -120,7 +137,7 @@ func (m *Map) Put(cpu int, key uint64, value []byte) error {
 // Delete removes key, defer-freeing its payload. Reports whether it was
 // present.
 func (m *Map) Delete(cpu int, key uint64) (bool, error) {
-	return m.table.Load().bucket(key).Delete(cpu, key)
+	return m.loadTable().bucket(key).Delete(cpu, key)
 }
 
 // ForEach visits every entry. Each bucket is traversed in its own

@@ -32,7 +32,7 @@ type ReadSync interface {
 type node struct {
 	key  uint64
 	obj  slabcore.Ref
-	next atomic.Pointer[node]
+	next atomic.Pointer[node] //prudence:rcu wmu
 }
 
 // List is an RCU-protected singly linked list keyed by uint64.
@@ -40,10 +40,14 @@ type node struct {
 // writer. Writers (Insert, Update, Delete) are serialized by an internal
 // mutex, as is conventional for RCU-protected structures.
 type List struct {
-	head  atomic.Pointer[node]
+	head  atomic.Pointer[node] //prudence:rcu wmu
 	cache alloc.Cache
 	rcu   ReadSync
 
+	// wmu serializes writers; it is never held while calling into the
+	// allocator's locked paths, but ranks below them for safety.
+	//
+	//prudence:lockorder 8
 	wmu  sync.Mutex
 	size atomic.Int64
 }
@@ -163,6 +167,8 @@ func (l *List) Delete(cpu int, key uint64) (bool, error) {
 
 // find returns the first node with key and its predecessor. Caller must
 // hold wmu.
+//
+//prudence:requires wmu
 func (l *List) find(key uint64) (prev, n *node) {
 	for n = l.head.Load(); n != nil; prev, n = n, n.next.Load() {
 		if n.key == key {

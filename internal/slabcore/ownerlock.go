@@ -24,6 +24,8 @@ import (
 // The lock is deliberately not reentrant and has no fairness
 // guarantee; both match the kernel analogue (local_irq_disable plus a
 // remote-access protocol) the per-CPU caches model.
+//
+//prudence:lockorder 10
 type OwnerLock struct {
 	state atomic.Int32
 }

@@ -149,27 +149,36 @@ type Slab struct {
 	// different slabs do not all contend for the same cache lines.
 	color int
 
-	free   []uint32 // stack of free object indices
+	// free is the stack of free object indices.
+	//prudence:guarded_by Node
+	free []uint32
+	//prudence:guarded_by Node
 	latent []latentEntry
 	// latentMin is the smallest cookie among latent entries; Reconcile
 	// is O(1) when even the oldest entry has not elapsed.
+	//prudence:guarded_by Node
 	latentMin rcu.Cookie
 	// pad is the per-side red-zone width (0 unless debugging).
 	pad int
 
 	// inUse counts objects not on the freelist and not latent: objects
 	// held by users OR sitting in per-CPU object/latent caches.
+	//prudence:guarded_by Node
 	inUse int
 
 	// touched is scratch state for batched releases (ReleaseRefs and
 	// the allocators' spill paths): marks a slab already seen in the
 	// current batch so list placement runs once per slab, not per
 	// object. Guarded by the node lock; always false between batches.
+	//prudence:guarded_by Node
 	touched bool
 
 	node *Node
+	//prudence:guarded_by Node
 	list ListID
+	//prudence:guarded_by Node
 	prev *Slab
+	//prudence:guarded_by Node
 	next *Slab
 }
 
@@ -178,14 +187,20 @@ func (s *Slab) Capacity() int { return s.cap }
 
 // FreeCount returns the number of immediately allocatable objects.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) FreeCount() int { return len(s.free) }
 
 // LatentCount returns the number of deferred objects parked in the
 // latent slab. Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) LatentCount() int { return len(s.latent) }
 
 // InUse returns the number of objects neither free nor latent.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) InUse() int { return s.inUse }
 
 // Node returns the NUMA node owning this slab.
@@ -193,6 +208,8 @@ func (s *Slab) Node() *Node { return s.node }
 
 // List returns the node list the slab currently belongs to.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) List() ListID { return s.list }
 
 // Ref is a reference to one object within a slab. The zero Ref is
@@ -214,6 +231,8 @@ func (r Ref) Bytes() []byte {
 
 // PopFree removes one object from the slab freelist. Caller must hold
 // the node lock and ensure FreeCount() > 0.
+//
+//prudence:requires Node
 func (s *Slab) PopFree() Ref {
 	idx := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
@@ -223,6 +242,8 @@ func (s *Slab) PopFree() Ref {
 
 // PushFree returns an object to the slab freelist. Caller must hold the
 // node lock.
+//
+//prudence:requires Node
 func (s *Slab) PushFree(idx uint32, poison bool) {
 	if poison {
 		s.poisonObject(idx)
@@ -236,6 +257,8 @@ func (s *Slab) PushFree(idx uint32, poison bool) {
 
 // PushLatent parks a deferred object in the latent slab with its
 // grace-period cookie. Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) PushLatent(idx uint32, cookie rcu.Cookie) {
 	if len(s.latent) == 0 || cookie < s.latentMin {
 		s.latentMin = cookie
@@ -249,6 +272,8 @@ func (s *Slab) PushLatent(idx uint32, cookie rcu.Cookie) {
 
 // poisonObject fills one object's user bytes with the poison pattern.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) poisonObject(idx uint32) {
 	b := (Ref{Slab: s, Idx: idx}).Bytes()
 	for i := range b {
@@ -262,6 +287,8 @@ func (s *Slab) poisonObject(idx uint32) {
 // paper's design it needs no per-object tracking by the synchronization
 // mechanism — the allocator polls the grace-period state when it next
 // touches the slab.
+//
+//prudence:requires Node
 func (s *Slab) Reconcile(elapsed func(rcu.Cookie) bool, poison bool) int {
 	if len(s.latent) == 0 {
 		return 0
@@ -306,13 +333,18 @@ func CheckPoison(r Ref) bool {
 	return true
 }
 
-// slabList is an intrusive doubly-linked list of slabs.
+// slabList is an intrusive doubly-linked list of slabs. Lists live
+// inside a Node and inherit its lock.
 type slabList struct {
+	//prudence:guarded_by Node
 	head *Slab
+	//prudence:guarded_by Node
 	tail *Slab
-	n    int
+	//prudence:guarded_by Node
+	n int
 }
 
+//prudence:requires Node
 func (l *slabList) pushFront(s *Slab) {
 	s.prev = nil
 	s.next = l.head
@@ -326,6 +358,7 @@ func (l *slabList) pushFront(s *Slab) {
 	l.n++
 }
 
+//prudence:requires Node
 func (l *slabList) remove(s *Slab) {
 	if s.prev != nil {
 		s.prev.next = s.next
@@ -341,19 +374,27 @@ func (l *slabList) remove(s *Slab) {
 	l.n--
 }
 
+//prudence:requires Node
 func (l *slabList) front() *Slab { return l.head }
-func (l *slabList) len() int     { return l.n }
+
+//prudence:requires Node
+func (l *slabList) len() int { return l.n }
 
 // Node is one NUMA node's share of a slab cache: the full, partial and
 // free slab lists and the lock covering them (the "node list lock" whose
 // contention the paper's pre-flush and pre-movement optimizations are
 // designed to spread out).
+//
+//prudence:lockorder 20
 type Node struct {
-	mu      sync.Mutex
-	id      int
-	full    slabList
+	mu sync.Mutex
+	id int
+	//prudence:guarded_by Node
+	full slabList
+	//prudence:guarded_by Node
 	partial slabList
-	freeL   slabList
+	//prudence:guarded_by Node
+	freeL slabList
 }
 
 // ID returns the node's index.
@@ -367,26 +408,38 @@ func (n *Node) Unlock() { n.mu.Unlock() }
 
 // FreeSlabs returns the number of slabs on the free list.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) FreeSlabs() int { return n.freeL.len() }
 
 // PartialSlabs returns the number of slabs on the partial list.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) PartialSlabs() int { return n.partial.len() }
 
 // FullSlabs returns the number of slabs on the full list.
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) FullSlabs() int { return n.full.len() }
 
 // FirstPartial returns the head of the partial list (or nil).
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) FirstPartial() *Slab { return n.partial.front() }
 
 // FirstFree returns the head of the free list (or nil).
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) FirstFree() *Slab { return n.freeL.front() }
 
 // WalkPartial calls fn for up to limit slabs on the partial list,
 // stopping early if fn returns false. Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) WalkPartial(limit int, fn func(*Slab) bool) {
 	for s := n.partial.front(); s != nil && limit > 0; s = s.next {
 		limit--
@@ -396,6 +449,7 @@ func (n *Node) WalkPartial(limit int, fn func(*Slab) bool) {
 	}
 }
 
+//prudence:requires Node
 func (n *Node) list(id ListID) *slabList {
 	switch id {
 	case ListFull:
@@ -412,6 +466,8 @@ func (n *Node) list(id ListID) *slabList {
 // on any list, and must belong to this node (a slab's node is fixed at
 // creation: callers read slab.Node() without the lock to decide which
 // lock to take). Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) Attach(s *Slab, id ListID) {
 	if s.list != ListNone {
 		panic(fmt.Sprintf("slabcore: attach of slab already on %v", s.list))
@@ -425,6 +481,8 @@ func (n *Node) Attach(s *Slab, id ListID) {
 
 // Detach removes a slab from whatever list it is on. Caller must hold
 // the node lock.
+//
+//prudence:requires Node
 func (n *Node) Detach(s *Slab) {
 	if s.list == ListNone {
 		panic("slabcore: detach of unattached slab")
@@ -434,6 +492,8 @@ func (n *Node) Detach(s *Slab) {
 }
 
 // Move transfers a slab to another list. Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) Move(s *Slab, to ListID) {
 	if s.list == to {
 		return
@@ -445,6 +505,8 @@ func (n *Node) Move(s *Slab, to ListID) {
 // HomeList computes the list a slab belongs on from its counts, with
 // latent objects counted as still occupying the slab (the conventional
 // SLUB view). Caller must hold the node lock.
+//
+//prudence:requires Node
 func HomeList(s *Slab) ListID {
 	switch {
 	case len(s.free) == 0:
@@ -459,6 +521,8 @@ func HomeList(s *Slab) ListID {
 // PredictedList computes the list a slab *will* belong on once its
 // latent objects become free — the hint-based placement Prudence's slab
 // pre-movement uses (§4.2). Caller must hold the node lock.
+//
+//prudence:requires Node
 func PredictedList(s *Slab) ListID {
 	switch {
 	case s.inUse == 0:
@@ -598,8 +662,12 @@ func (b *Base) DestroySlab(s *Slab) {
 	n := s.node
 	n.Lock()
 	if s.inUse != 0 || len(s.latent) != 0 {
+		// Format while still holding the lock: reading the counts after
+		// Unlock would race with concurrent slab mutations and could
+		// report garbage in the panic message.
+		msg := fmt.Sprintf("slabcore: destroying slab with inUse=%d latent=%d", s.inUse, len(s.latent))
 		n.Unlock()
-		panic(fmt.Sprintf("slabcore: destroying slab with inUse=%d latent=%d", s.inUse, len(s.latent)))
+		panic(msg)
 	}
 	n.Detach(s)
 	n.Unlock()
@@ -691,8 +759,12 @@ func (b *Base) Fragmentation() (ft float64, allocatedBytes, requestedBytes int64
 // deferential slow path (LockRemote). The struct is padded to 128
 // bytes so adjacent CPUs' caches never false-share a cache line (or an
 // adjacent-line prefetch pair).
+//
+//prudence:lockorder 10
+//prudence:padded 128
 type PerCPUCache struct {
 	lock OwnerLock
+	//prudence:guarded_by PerCPUCache
 	Objs []Ref
 	Size int // capacity (the "object cache size" o of §4.2)
 	_    [128 - 4 /* lock */ - 4 /* align */ - 24 /* Objs */ - 8] /* Size */ byte
@@ -718,6 +790,8 @@ func (c *PerCPUCache) Unlock() { c.lock.Unlock() }
 
 // TryGet pops an object, returning a zero Ref if empty. Caller must
 // hold the cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *PerCPUCache) TryGet() Ref {
 	if len(c.Objs) == 0 {
 		return Ref{}
@@ -730,12 +804,16 @@ func (c *PerCPUCache) TryGet() Ref {
 // Put pushes an object. Caller must hold the cache lock and ensure
 // Len < Size or accept growing past Size (flushing is the caller's
 // policy decision).
+//
+//prudence:requires PerCPUCache
 func (c *PerCPUCache) Put(r Ref) {
 	c.Objs = append(c.Objs, r)
 }
 
 // Len returns the number of cached objects. Caller must hold the cache
 // lock.
+//
+//prudence:requires PerCPUCache
 func (c *PerCPUCache) Len() int { return len(c.Objs) }
 
 // FillFrom splices up to n objects from the slab's freelist into the
@@ -744,6 +822,8 @@ func (c *PerCPUCache) Len() int { return len(c.Objs) }
 // refill costs one bounds-checked copy under the node lock rather than
 // per-object push/pop traffic. Caller must hold both the node lock and
 // the cache lock.
+//
+//prudence:requires Node,PerCPUCache
 func (c *PerCPUCache) FillFrom(s *Slab, n int) int {
 	if n > len(s.free) {
 		n = len(s.free)
@@ -762,6 +842,8 @@ func (c *PerCPUCache) FillFrom(s *Slab, n int) int {
 
 // TakeAll removes and returns all objects. Caller must hold the cache
 // lock.
+//
+//prudence:requires PerCPUCache
 func (c *PerCPUCache) TakeAll() []Ref {
 	out := c.Objs
 	c.Objs = make([]Ref, 0, c.Size)
@@ -770,6 +852,8 @@ func (c *PerCPUCache) TakeAll() []Ref {
 
 // Take removes and returns up to n objects from the bottom of the stack
 // (the coldest entries). Caller must hold the cache lock.
+//
+//prudence:requires PerCPUCache
 func (c *PerCPUCache) Take(n int) []Ref {
 	if n > len(c.Objs) {
 		n = len(c.Objs)
@@ -820,10 +904,14 @@ func (b *Base) ShrinkNode(n *Node, limit int, elapsed func(rcu.Cookie) bool) (fr
 
 // NextInList returns the next slab on the same node list, for bounded
 // traversals by the allocators. Caller must hold the node lock.
+//
+//prudence:requires Node
 func (s *Slab) NextInList() *Slab { return s.next }
 
 // FirstFull returns the head of the full list (or nil).
 // Caller must hold the node lock.
+//
+//prudence:requires Node
 func (n *Node) FirstFull() *Slab { return n.full.front() }
 
 // Color returns the slab's coloring offset in bytes.

@@ -29,8 +29,12 @@ type Allocator struct {
 	rcu   *rcu.RCU
 	cpus  int
 
+	// mu guards the cache registry only; it ranks below every
+	// allocation-path lock and is never held across one.
+	//
+	//prudence:lockorder 5
 	mu     sync.Mutex
-	caches []alloc.Cache
+	caches []alloc.Cache //prudence:guarded_by mu
 }
 
 var _ alloc.Allocator = (*Allocator)(nil)

@@ -24,6 +24,8 @@ const hotShards = 64
 // pair). One allocation updates allocs, cacheHits and requested — all
 // on the CPU's own line — instead of three shared atomics contended by
 // every core.
+//
+//prudence:padded 128
 type hotShard struct {
 	allocs        atomic.Uint64
 	cacheHits     atomic.Uint64
