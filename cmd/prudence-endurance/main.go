@@ -8,6 +8,12 @@
 //	prudence-endurance                      # summary table to stdout
 //	prudence-endurance -csv fig3.csv        # also write the series
 //	prudence-endurance -cpus 8 -pages 4096 -updates 60000
+//
+// Chaos mode runs the workload mix under seeded fault injection and
+// checks the graceful-degradation invariants; the same seed replays the
+// same injection schedule (exit status 1 on invariant failure):
+//
+//	prudence-endurance -chaos -seed 42
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"prudence/internal/bench"
+	"prudence/internal/fault/chaostest"
 )
 
 func main() {
@@ -29,8 +36,26 @@ func main() {
 		pace         = flag.Duration("pace", time.Microsecond, "pause per update (0 = flat out)")
 		csvPath      = flag.String("csv", "", "write used-memory series CSV to this file")
 		metricsEvery = flag.Duration("metrics-every", 0, "dump Prometheus metrics to stderr at this period during the run (0 = off)")
+		chaos        = flag.Bool("chaos", false, "run the seeded chaos harness instead of the Figure 3 experiment")
+		seed         = flag.Uint64("seed", 1, "fault-injection seed for -chaos (same seed replays the same schedule)")
+		watchdog     = flag.Duration("watchdog", 2*time.Minute, "chaos-mode hang detector")
 	)
 	flag.Parse()
+
+	if *chaos {
+		res := chaostest.Run(chaostest.Config{
+			Seed:     *seed,
+			CPUs:     *cpus,
+			Updates:  *updates,
+			Pairs:    *updates,
+			Watchdog: *watchdog,
+		})
+		fmt.Println(chaostest.Report(res))
+		if !res.Passed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.CPUs = *cpus

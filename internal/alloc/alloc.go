@@ -91,6 +91,8 @@ var cacheCounterFields = []struct {
 		func(c *stats.AllocCounters) uint64 { return c.PreMoves.Load() }},
 	{"prudence_cache_gp_waits_total", "Allocations that waited for a grace period (OOM delay).",
 		func(c *stats.AllocCounters) uint64 { return c.GPWaits.Load() }},
+	{"prudence_cache_oom_delay_timeouts_total", "OOM-delay waits that timed out before a grace period elapsed.",
+		func(c *stats.AllocCounters) uint64 { return c.OOMDelayTimeouts.Load() }},
 	{"prudence_cache_oom_total", "Allocations that failed with out-of-memory.",
 		func(c *stats.AllocCounters) uint64 { return c.OOMs.Load() }},
 }

@@ -19,6 +19,15 @@
 //	                                 named lock classes on entry.
 //	//prudence:rcu_read              on a function: the caller is inside
 //	                                 a read-side critical section.
+//	//prudence:fault_point           on (or on the line before) a call
+//	                                 into internal/fault's injection
+//	                                 entry points (Fire, FireDelay,
+//	                                 Sleep): marks a deliberate, audited
+//	                                 fault-injection site. rcucheck
+//	                                 requires it on every injection call
+//	                                 and exempts annotated calls from
+//	                                 the no-touch-after-FreeDeferred
+//	                                 taint.
 //	//prudence:nocheck <analyzer>    on a function: suppress one
 //	                                 analyzer in its body (audited —
 //	                                 every use needs a justifying
@@ -46,13 +55,14 @@ import (
 
 // Directive verbs.
 const (
-	VerbLockOrder = "lockorder"
-	VerbGuardedBy = "guarded_by"
-	VerbPadded    = "padded"
-	VerbRCU       = "rcu"
-	VerbRequires  = "requires"
-	VerbRCURead   = "rcu_read"
-	VerbNoCheck   = "nocheck"
+	VerbLockOrder  = "lockorder"
+	VerbGuardedBy  = "guarded_by"
+	VerbPadded     = "padded"
+	VerbRCU        = "rcu"
+	VerbRequires   = "requires"
+	VerbRCURead    = "rcu_read"
+	VerbNoCheck    = "nocheck"
+	VerbFaultPoint = "fault_point"
 )
 
 const prefix = "//prudence:"

@@ -12,6 +12,14 @@
 //     the paper's no-touch-after-defer rule. Any later use of the same
 //     variable (or a field/element reached through it) in the function
 //     is flagged; rebinding the variable kills the taint.
+//
+//  3. Calls into internal/fault's injection entry points (Fire,
+//     FireDelay, Sleep) must carry a //prudence:fault_point annotation
+//     on the call line or the line above. Annotated injection sites are
+//     deliberate, audited probes and are exempt from contract 2's taint
+//     (a probe may key off a deferred object's identity); unannotated
+//     injection calls are reported, as is a fault_point annotation on
+//     anything that is not an injection call.
 package rcucheck
 
 import (
@@ -37,7 +45,9 @@ var rcuMethods = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	fp := collectFaultPoints(pass)
 	for _, f := range pass.Files {
+		checkFaultPoints(pass, f, fp)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok {
@@ -47,10 +57,117 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkRCUPointers(pass, fn)
-			checkFreeDeferred(pass, fn)
+			checkFreeDeferred(pass, fn, fp)
 		}
 	}
+	fp.reportUnused(pass)
 	return nil
+}
+
+// faultPkgPath is the injection layer; calls into it are legitimate
+// only at annotated fault points.
+const faultPkgPath = "prudence/internal/fault"
+
+// faultInjectionFuncs are the entry points that perturb execution; the
+// rest of the fault API (Enable, Current, ...) is harness plumbing and
+// needs no annotation.
+var faultInjectionFuncs = map[string]bool{
+	"Fire": true, "FireDelay": true, "Sleep": true,
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// faultPoints indexes every //prudence:fault_point comment in the
+// package by file and line, tracking which ones an injection call
+// consumed.
+type faultPoints struct {
+	fset  *token.FileSet
+	lines map[fileLine]token.Pos
+	used  map[fileLine]bool
+}
+
+func collectFaultPoints(pass *analysis.Pass) *faultPoints {
+	fp := &faultPoints{
+		fset:  pass.Fset,
+		lines: make(map[fileLine]token.Pos),
+		used:  make(map[fileLine]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, d := range annot.Parse(cg) {
+				if d.Verb != annot.VerbFaultPoint {
+					continue
+				}
+				p := pass.Fset.Position(d.Pos)
+				fp.lines[fileLine{p.Filename, p.Line}] = d.Pos
+			}
+		}
+	}
+	return fp
+}
+
+// annotated reports whether call carries a fault_point annotation (on
+// its own line or the line above), consuming it.
+func (fp *faultPoints) annotated(call *ast.CallExpr) bool {
+	p := fp.fset.Position(call.Pos())
+	for _, line := range []int{p.Line, p.Line - 1} {
+		k := fileLine{p.Filename, line}
+		if _, ok := fp.lines[k]; ok {
+			fp.used[k] = true
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnused flags fault_point annotations that no injection call
+// consumed: the annotation on arbitrary code would silently grant a
+// taint exemption it must not have. The report points at the line the
+// annotation claims to cover.
+func (fp *faultPoints) reportUnused(pass *analysis.Pass) {
+	for k, pos := range fp.lines {
+		if fp.used[k] {
+			continue
+		}
+		at := pos
+		if tf := fp.fset.File(pos); tf != nil && k.line+1 <= tf.LineCount() {
+			at = tf.LineStart(k.line + 1)
+		}
+		pass.Reportf(at, "prudence:fault_point does not annotate a call into internal/fault")
+	}
+}
+
+// isFaultInjection reports whether call invokes one of internal/fault's
+// injection entry points.
+func isFaultInjection(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !faultInjectionFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == faultPkgPath
+}
+
+// checkFaultPoints requires the fault_point annotation on every
+// injection call in f.
+func checkFaultPoints(pass *analysis.Pass, f *ast.File, fp *faultPoints) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isFaultInjection(pass.TypesInfo, call) && !fp.annotated(call) {
+			pass.Reportf(call.Pos(), "fault injection site must be annotated //prudence:fault_point")
+		}
+		return true
+	})
 }
 
 // checkRCUPointers walks fn with lock/read-depth state and validates
@@ -119,7 +236,7 @@ type taintKey struct {
 // with separate taint sets and merged by union (may-taint), so a
 // deferred free in one branch does not poison its sibling branch but
 // still covers everything after the if.
-func checkFreeDeferred(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFreeDeferred(pass *analysis.Pass, fn *ast.FuncDecl, fp *faultPoints) {
 	if fn.Body == nil {
 		return
 	}
@@ -216,6 +333,12 @@ func checkFreeDeferred(pass *analysis.Pass, fn *ast.FuncDecl) {
 			}
 			return false
 		case *ast.CallExpr:
+			if isFaultInjection(pass.TypesInfo, x) && fp.annotated(x) {
+				// Annotated injection sites are audited probes: they
+				// may key off a deferred object's identity without
+				// counting as a use of it.
+				return false
+			}
 			sel, ok := x.Fun.(*ast.SelectorExpr)
 			if ok && sel.Sel.Name == "FreeDeferred" {
 				inspect(x.Fun)

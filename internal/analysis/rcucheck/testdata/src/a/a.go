@@ -6,6 +6,8 @@ package a
 import (
 	"sync"
 	"sync/atomic"
+
+	"prudence/internal/fault"
 )
 
 // RS mimics internal/rcu's read-side API: recognition is by method
@@ -128,3 +130,33 @@ func Suppressed(c *Cache, n *Node) int {
 	c.FreeDeferred(0, n)
 	return n.V
 }
+
+// An annotated injection site is an audited probe: it may key off the
+// deferred object's identity without counting as a use.
+func AnnotatedFaultProbe(c *Cache, n *Node) {
+	c.FreeDeferred(0, n)
+	//prudence:fault_point
+	fault.Fire(fault.Point(n.V))
+}
+
+// Without the annotation the injection call is reported twice over:
+// the site itself is illegal, and the probe argument is an ordinary
+// use-after-defer.
+func UnannotatedFaultProbe(c *Cache, n *Node) {
+	c.FreeDeferred(0, n)
+	fault.Fire(fault.Point(n.V)) // want `fault injection site must be annotated //prudence:fault_point` `uses n\.V after it was passed to FreeDeferred`
+}
+
+// Harness plumbing (Enable, Enabled, ...) is not an injection point and
+// needs no annotation.
+func FaultPlumbing() bool {
+	return fault.Enabled()
+}
+
+// The annotation on anything that is not an injection call is misuse:
+// it would silently grant a taint exemption.
+
+//prudence:fault_point
+var notAFaultPoint = 0 // want `prudence:fault_point does not annotate a call into internal/fault`
+
+var _ = notAFaultPoint

@@ -33,8 +33,10 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prudence/internal/alloc"
+	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
@@ -72,11 +74,24 @@ type Options struct {
 	// SlabScanLimit bounds how many partial slabs refill inspects
 	// (default 10 — the paper's latency/fragmentation trade-off, §5.4).
 	SlabScanLimit int
+	// OOMDelayWait bounds one OOM-delay grace-period wait (default 5ms).
+	// Waits back off exponentially on consecutive timeouts, so a stalled
+	// grace period degrades to an out-of-memory report instead of a hang.
+	OOMDelayWait time.Duration
+	// OOMDelayRetries is how many timed-out waits the OOM path tolerates
+	// before giving up and reporting out-of-memory (default 3).
+	OOMDelayRetries int
 }
 
 func (o Options) withDefaults() Options {
 	if o.SlabScanLimit <= 0 {
 		o.SlabScanLimit = 10
+	}
+	if o.OOMDelayWait <= 0 {
+		o.OOMDelayWait = 5 * time.Millisecond
+	}
+	if o.OOMDelayRetries <= 0 {
+		o.OOMDelayRetries = 3
 	}
 	return o
 }
@@ -99,6 +114,11 @@ type GracePeriods interface {
 	// WaitElapsedOn blocks until the cookie elapses, treating the
 	// calling CPU as quiescent; returns false if the engine stopped.
 	WaitElapsedOn(cpu int, c rcu.Cookie) bool
+	// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
+	// false if d passes (or the engine stops) before the cookie elapses.
+	// The OOM-delay path uses it so a stalled grace period degrades to
+	// an out-of-memory report instead of a hang.
+	WaitElapsedOnTimeout(cpu int, c rcu.Cookie, d time.Duration) bool
 	// GPsCompleted counts completed grace periods (used to gate
 	// once-per-grace-period work).
 	GPsCompleted() uint64
@@ -314,6 +334,9 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 	ctr.IncAllocs(cpu)
 	cl := c.percpu[cpu]
 
+	// oomTimeouts counts consecutive timed-out OOM-delay waits; any
+	// successful wait resets it. See the OOM path at the loop's end.
+	oomTimeouts := 0
 	for {
 		cl.objs.Lock()
 		cl.allocsSince++
@@ -386,12 +409,25 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		c.base.Trace(trace.KindGPWait, cpu, 0, 0)
 		// The wait treats this CPU as quiescent (the caller is blocked,
 		// i.e. context-switched) so the grace period it is waiting for
-		// can actually complete.
-		if !c.alloc.rcu.WaitElapsedOn(cpu, c.alloc.rcu.Snapshot()) {
-			ctr.OOMs.Add(1)
-			c.base.Trace(trace.KindOOM, cpu, 0, 0)
-			return slabcore.Ref{}, err
+		// can actually complete. The wait is bounded with exponential
+		// backoff: Algorithm 1's lines 31-32 assume a grace period
+		// always arrives, but a stalled or wedged engine must degrade
+		// to an out-of-memory report, not a hang.
+		wait := c.alloc.opts.OOMDelayWait << min(oomTimeouts, 4)
+		//prudence:fault_point
+		elapsed := !fault.Fire(fault.OOMDelayExpire) &&
+			c.alloc.rcu.WaitElapsedOnTimeout(cpu, c.alloc.rcu.Snapshot(), wait)
+		if !elapsed {
+			ctr.OOMDelayTimeouts.Add(1)
+			oomTimeouts++
+			if oomTimeouts >= c.alloc.opts.OOMDelayRetries {
+				ctr.OOMs.Add(1)
+				c.base.Trace(trace.KindOOM, cpu, 0, 0)
+				return slabcore.Ref{}, err
+			}
+			continue
 		}
+		oomTimeouts = 0
 		// Reconcile latent slabs across the nodes so freed-up slabs can
 		// be found by the retry. Another CPU may win the refill race,
 		// but per Algorithm 1 (lines 31-32) the allocation keeps
@@ -443,6 +479,12 @@ func (c *Cache) mergeCaches(cl *cpuLocal) int {
 //
 //prudence:requires PerCPUCache
 func (c *Cache) refill(cpu int, cl *cpuLocal) {
+	// Chaos: a failed refill leaves the object cache empty; Malloc falls
+	// through to grow (and eventually the OOM path).
+	//prudence:fault_point
+	if fault.Fire(fault.RefillFail) {
+		return
+	}
 	full := cl.objs.Size - cl.objs.Len()
 	want := full
 	if !c.alloc.opts.DisablePartialRefill {
@@ -782,6 +824,9 @@ func (c *Cache) armPreflush(cpu int, cl *cpuLocal) {
 // otherwise, and stopping once object+latent counts fit the cache.
 func (c *Cache) preflush(cpu int) {
 	cl := c.percpu[cpu]
+	// Chaos: delay the idle-time flush of latent objects.
+	//prudence:fault_point
+	fault.Sleep(fault.LatentFlushDelay)
 	for {
 		// The idle worker is a visitor to the workload goroutine's
 		// cache: take the deferential slow path so an armed pre-flush

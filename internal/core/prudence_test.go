@@ -8,6 +8,7 @@ import (
 	"prudence/internal/alloc"
 	"prudence/internal/alloctest"
 	"prudence/internal/core"
+	"prudence/internal/fault"
 	"prudence/internal/pagealloc"
 	"prudence/internal/slabcore"
 	"prudence/internal/trace"
@@ -258,6 +259,104 @@ func TestOOMDelayDisabled(t *testing.T) {
 	}
 	if _, err := c.Malloc(0); !errors.Is(err, pagealloc.ErrOutOfMemory) {
 		t.Fatalf("expected immediate OOM, got %v", err)
+	}
+}
+
+// A stalled grace period must not hang the OOM-delay path: with
+// readers blocking every grace period and deferred objects pending,
+// Malloc's bounded waits time out, the timeouts are counted, and the
+// allocation degrades to ErrOutOfMemory.
+func TestOOMDelayBoundedWhenGPStalled(t *testing.T) {
+	cfg := alloctest.DefaultStackConfig()
+	cfg.Pages = 4
+	s := alloctest.NewStack(t, cfg, buildWith(core.Options{
+		OOMDelayWait:    2 * time.Millisecond,
+		OOMDelayRetries: 3,
+	}))
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("stalledgp"))
+
+	// Stall every grace period: CPU 1 sits in a read-side critical
+	// section for the whole test.
+	s.RCU.ExitIdle(1)
+	s.RCU.ReadLock(1)
+	defer func() {
+		s.RCU.ReadUnlock(1)
+		s.RCU.QuiescentState(1)
+		s.RCU.EnterIdle(1)
+	}()
+
+	var refs []slabcore.Ref
+	for {
+		r, err := c.Malloc(0)
+		if err != nil {
+			break
+		}
+		refs = append(refs, r)
+	}
+	for _, r := range refs[:len(refs)/2] {
+		c.FreeDeferred(0, r)
+	}
+
+	type result struct {
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, err := c.Malloc(0)
+		done <- result{err}
+	}()
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, pagealloc.ErrOutOfMemory) {
+			t.Fatalf("expected ErrOutOfMemory after bounded delay, got %v", res.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Malloc hung on a stalled grace period: OOM delay is unbounded")
+	}
+	snap := c.Counters().Snapshot()
+	if snap.OOMDelayTimeouts < 3 {
+		t.Fatalf("OOMDelayTimeouts = %d, want >= 3 (retries exhausted)", snap.OOMDelayTimeouts)
+	}
+	if snap.OOMs == 0 {
+		t.Fatal("degraded allocation did not count an OOM")
+	}
+}
+
+// The oom_delay_expire fault point forces the same degradation without
+// stalling the engine, pinned to a seed so it replays.
+func TestOOMDelayExpireFaultInjection(t *testing.T) {
+	inj := fault.Enable(fault.Config{Seed: 7, Rules: map[fault.Point]fault.Rule{
+		fault.OOMDelayExpire: {Rate: 1},
+	}})
+	defer fault.Disable()
+
+	cfg := alloctest.DefaultStackConfig()
+	cfg.Pages = 4
+	s := alloctest.NewStack(t, cfg, buildWith(core.Options{
+		OOMDelayWait:    time.Millisecond,
+		OOMDelayRetries: 2,
+	}))
+	c := s.Alloc.NewCache(alloctest.TestCacheConfig("oomexpire"))
+
+	var refs []slabcore.Ref
+	for {
+		r, err := c.Malloc(0)
+		if err != nil {
+			break
+		}
+		refs = append(refs, r)
+	}
+	for _, r := range refs[:len(refs)/2] {
+		c.FreeDeferred(0, r)
+	}
+	if _, err := c.Malloc(0); !errors.Is(err, pagealloc.ErrOutOfMemory) {
+		t.Fatalf("expected forced OOM, got %v", err)
+	}
+	if got := c.Counters().Snapshot().OOMDelayTimeouts; got < 2 {
+		t.Fatalf("OOMDelayTimeouts = %d, want >= 2", got)
+	}
+	if inj.Fired(fault.OOMDelayExpire) < 2 {
+		t.Fatalf("fault point fired %d times, want >= 2", inj.Fired(fault.OOMDelayExpire))
 	}
 }
 

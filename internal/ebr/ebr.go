@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/rcu"
 	"prudence/internal/stats"
@@ -171,6 +172,12 @@ func (e *EBR) Elapsed(c rcu.Cookie) bool {
 // NeedGP signals demand for epoch advances.
 func (e *EBR) NeedGP() {
 	e.needGP.Store(true)
+	// Chaos: a lost wakeup drops the kick after demand is recorded; the
+	// advancer's timer fallback must recover.
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
 	select {
 	case e.kick <- struct{}{}:
 	default:
@@ -190,6 +197,31 @@ func (e *EBR) WaitElapsedOn(cpu int, c rcu.Cookie) bool {
 		panic("ebr: WaitElapsedOn inside critical section")
 	}
 	return e.waitElapsed(c)
+}
+
+// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
+// true as soon as the cookie elapses, or false once d passes (or the
+// engine stops) without it elapsing. Demand is re-raised on every poll
+// for the same reason waitElapsed re-raises it — the advancer clears
+// demand on even advances, and a cookie snapshotted at an odd epoch
+// outlives the pair that cleared it.
+func (e *EBR) WaitElapsedOnTimeout(cpu int, c rcu.Cookie, d time.Duration) bool {
+	if e.cpu(cpu).nesting > 0 {
+		panic("ebr: WaitElapsedOnTimeout inside critical section")
+	}
+	deadline := time.Now().Add(d)
+	for !e.Elapsed(c) {
+		if time.Now().After(deadline) {
+			return e.Elapsed(c)
+		}
+		e.NeedGP()
+		select {
+		case <-e.stop:
+			return e.Elapsed(c)
+		case <-time.After(e.opts.PollInterval):
+		}
+	}
+	return true
 }
 
 // Synchronize blocks until a full grace period has elapsed.
@@ -266,6 +298,16 @@ func (e *EBR) advancer() {
 			case <-e.stop:
 				return
 			case <-time.After(e.opts.PollInterval):
+			}
+		}
+		// Chaos: stall the advance after observing no stragglers but
+		// before publishing the new epoch.
+		//prudence:fault_point
+		if d := fault.FireDelay(fault.GPStall); d > 0 {
+			select {
+			case <-e.stop:
+				return
+			case <-time.After(d):
 			}
 		}
 		e.epoch.Store(cur + 1)

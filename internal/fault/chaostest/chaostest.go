@@ -1,0 +1,326 @@
+// Package chaostest is the chaos stress harness: it runs the existing
+// workload mix on a full Prudence stack while the fault layer injects
+// failures, and asserts the graceful-degradation invariants —
+// allocation never hangs (OOM-delay waits are bounded and surface
+// out-of-memory), no object is handed out twice, and stats/metrics stay
+// consistent under injected failure.
+//
+// Runs are seeded: the same seed yields the same per-point injection
+// schedule (see internal/fault), so a failing run replays with
+// `prudence-endurance -chaos -seed N`.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prudence/internal/bench"
+	"prudence/internal/core"
+	"prudence/internal/fault"
+	"prudence/internal/pagealloc"
+	"prudence/internal/slabcore"
+	"prudence/internal/vcpu"
+	"prudence/internal/workload"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives the injection schedule. Same seed + same config =
+	// same per-point schedule.
+	Seed uint64
+	// CPUs and Pages size the simulated machine (defaults 4 CPUs, 768
+	// pages — small enough that injected failures bite).
+	CPUs  int
+	Pages int
+	// Updates is the endurance phase's update count per CPU (default
+	// 2000); Pairs is the tracked phase's malloc/free pairs per CPU
+	// (default 2000).
+	Updates int
+	Pairs   int
+	// Watchdog bounds the whole run; exceeding it is itself an
+	// invariant failure (something hung). Default 2 minutes.
+	Watchdog time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUs <= 0 {
+		c.CPUs = 4
+	}
+	if c.Pages <= 0 {
+		c.Pages = 768
+	}
+	if c.Updates <= 0 {
+		c.Updates = 2000
+	}
+	if c.Pairs <= 0 {
+		c.Pairs = 2000
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 2 * time.Minute
+	}
+	return c
+}
+
+// Rules is the chaos mix: every fault point armed at rates low enough
+// that the system should degrade, not die. Exported so tests and the
+// CLI report the exact schedule parameters alongside the seed.
+func Rules() map[fault.Point]fault.Rule {
+	return map[fault.Point]fault.Rule{
+		fault.PageAllocFail:    {Rate: 0.02},
+		fault.PageZeroDelay:    {Rate: 0.05, Delay: 200 * time.Microsecond},
+		fault.PageZeroStall:    {Rate: 0.05, Delay: 500 * time.Microsecond},
+		fault.GPStall:          {Rate: 0.10, Delay: time.Millisecond},
+		fault.CBDelay:          {Rate: 0.05, Delay: 200 * time.Microsecond},
+		fault.LostWakeup:       {Rate: 0.25},
+		fault.RefillFail:       {Rate: 0.05},
+		fault.LatentFlushDelay: {Rate: 0.10, Delay: 200 * time.Microsecond},
+		fault.OOMDelayExpire:   {Rate: 0.50},
+	}
+}
+
+// Result reports one chaos run.
+type Result struct {
+	Seed     uint64
+	Passed   bool
+	Failures []string
+	// Endurance is the existing-workload phase's outcome. OOM here is
+	// acceptable degradation, not a failure.
+	Endurance workload.EnduranceResult
+	// Injected maps point name to how many times it fired; Arrivals to
+	// how many times it was reached.
+	Injected map[string]uint64
+	Arrivals map[string]uint64
+	// FiredArrivals is the realized per-point schedule (which arrival
+	// indices fired), the quantity that replays across runs of the same
+	// seed.
+	FiredArrivals map[fault.Point][]uint64
+}
+
+// Run executes one seeded chaos run and checks the degradation
+// invariants. It installs the package-level fault injector for the
+// duration; callers must not run concurrent chaos runs.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Seed: cfg.Seed}
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+
+	inj := fault.Enable(fault.Config{Seed: cfg.Seed, Rules: Rules(), LogLimit: 1 << 16})
+	defer fault.Disable()
+
+	bcfg := bench.DefaultConfig()
+	bcfg.CPUs = cfg.CPUs
+	bcfg.ArenaPages = cfg.Pages
+	bcfg.Prudence = core.Options{
+		OOMDelayWait:    2 * time.Millisecond,
+		OOMDelayRetries: 3,
+	}
+	stack := bench.NewStack(bench.KindPrudence, bcfg)
+	fault.RegisterMetrics(stack.Reg)
+
+	// The whole run sits under a watchdog: with bounded OOM-delay waits
+	// and bounded zero-in-flight waits, no injected fault may turn into
+	// a hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res.Endurance = runPhases(cfg, stack, fail)
+	}()
+	select {
+	case <-done:
+		stack.Close()
+	case <-time.After(cfg.Watchdog):
+		fail("watchdog: chaos run exceeded %v — an injected fault hung the system", cfg.Watchdog)
+		// The stack is wedged; leak it rather than hang the caller too.
+	}
+
+	res.Injected = make(map[string]uint64)
+	res.Arrivals = make(map[string]uint64)
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		if inj.Threshold(p) == 0 {
+			continue
+		}
+		res.Injected[p.String()] = inj.Fired(p)
+		res.Arrivals[p.String()] = inj.Arrivals(p)
+	}
+	res.FiredArrivals = inj.FiredArrivals()
+	res.Passed = len(res.Failures) == 0
+	return res
+}
+
+// runPhases executes the workload phases and the post-run consistency
+// checks. Split out so the watchdog can select against it.
+func runPhases(cfg Config, stack *bench.Stack, fail func(string, ...any)) workload.EnduranceResult {
+	env := stack.Env()
+
+	// Phase 1: the existing endurance mix (Figure 3's list-update
+	// storm) under injected faults. The only invariant here is
+	// termination; running out of memory under a hostile schedule is
+	// the designed degradation.
+	ecache := stack.Alloc.NewCache(slabcore.DefaultConfig("chaos-endurance", 128, cfg.CPUs))
+	eres := workload.RunEndurance(env, ecache, workload.EnduranceConfig{
+		ListLen: 32,
+		Updates: cfg.Updates,
+	})
+
+	// Phase 2: a tracked malloc/free mix asserting no object is ever
+	// handed out twice while live.
+	tcache := stack.Alloc.NewCache(slabcore.DefaultConfig("chaos-tracked", 96, cfg.CPUs))
+	var mu sync.Mutex
+	live := make(map[slabcore.Ref]int, 1024)
+	env.Machine.RunOnAll(func(c *vcpu.CPU) {
+		cpu := c.ID()
+		env.RCU.ExitIdle(cpu)
+		defer env.RCU.EnterIdle(cpu)
+		rng := cfg.Seed ^ (uint64(cpu)+1)*0x9e3779b97f4a7c15
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		var held []slabcore.Ref
+		release := func(ref Ref) {
+			mu.Lock()
+			delete(live, ref)
+			mu.Unlock()
+			if next()%2 == 0 {
+				tcache.FreeDeferred(cpu, ref)
+			} else {
+				tcache.Free(cpu, ref)
+			}
+		}
+		for i := 0; i < cfg.Pairs; i++ {
+			ref, err := tcache.Malloc(cpu)
+			if err != nil {
+				if !errors.Is(err, pagealloc.ErrOutOfMemory) {
+					fail("cpu %d: Malloc returned unexpected error: %v", cpu, err)
+					return
+				}
+				// Graceful degradation: free something and move on.
+				if len(held) > 0 {
+					release(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+				env.RCU.QuiescentState(cpu)
+				continue
+			}
+			mu.Lock()
+			if owner, dup := live[ref]; dup {
+				mu.Unlock()
+				fail("object handed out twice: ref held by cpu %d also returned to cpu %d", owner, cpu)
+				return
+			}
+			live[ref] = cpu
+			mu.Unlock()
+			ref.Bytes()[0] = byte(i)
+			if next()%4 == 0 && len(held) < 64 {
+				held = append(held, ref)
+			} else {
+				release(ref)
+			}
+			env.RCU.QuiescentState(cpu)
+		}
+		for _, ref := range held {
+			release(ref)
+		}
+	})
+
+	// Post-run consistency: with everything freed, the tracked cache
+	// must drain to zero requested objects and pass its structural
+	// audit, even after the injected failures.
+	stack.RCU.Synchronize()
+	tcache.Drain()
+	if got := tcache.Counters().Requested(); got != 0 {
+		fail("tracked cache: %d objects still requested after full free + drain", got)
+	}
+	if a, ok := tcache.(interface{ Audit() error }); ok {
+		if err := a.Audit(); err != nil {
+			fail("tracked cache audit: %v", err)
+		}
+	}
+	if a, ok := ecache.(interface{ Audit() error }); ok {
+		if err := a.Audit(); err != nil {
+			fail("endurance cache audit: %v", err)
+		}
+	}
+
+	// Metrics must agree with the injector's own counters: the
+	// observability layer may not lose injected failures.
+	g := stack.Reg.Gather()
+	inj := fault.Current()
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		if inj.Threshold(p) == 0 {
+			continue
+		}
+		series := fmt.Sprintf("prudence_fault_injections_total{point=%q}", p.String())
+		if got, want := g[series], float64(inj.Fired(p)); got != want {
+			fail("metric %s = %v, injector counted %v", series, got, want)
+		}
+	}
+	snap := tcache.Counters().Snapshot()
+	if snap.CacheHits+snap.LatentHits > snap.Allocs {
+		fail("tracked cache stats inconsistent: hits %d+%d exceed allocs %d",
+			snap.CacheHits, snap.LatentHits, snap.Allocs)
+	}
+	return eres
+}
+
+// Ref aliases slabcore.Ref for the tracked workload's closures.
+type Ref = slabcore.Ref
+
+// SamePrefix reports whether two realized per-point schedules agree on
+// their common prefix for every point, and returns a description of the
+// first divergence otherwise. Background goroutines make total arrival
+// counts run-dependent, so prefix agreement is exactly the determinism
+// the seed guarantees.
+func SamePrefix(a, b map[fault.Point][]uint64) (bool, string) {
+	points := make(map[fault.Point]bool)
+	for p := range a {
+		points[p] = true
+	}
+	for p := range b {
+		points[p] = true
+	}
+	ordered := make([]int, 0, len(points))
+	for p := range points {
+		ordered = append(ordered, int(p))
+	}
+	sort.Ints(ordered)
+	for _, pi := range ordered {
+		p := fault.Point(pi)
+		sa, sb := a[p], b[p]
+		n := len(sa)
+		if len(sb) < n {
+			n = len(sb)
+		}
+		for i := 0; i < n; i++ {
+			if sa[i] != sb[i] {
+				return false, fmt.Sprintf("%v: firing %d at arrival %d vs %d", p, i, sa[i], sb[i])
+			}
+		}
+	}
+	return true, ""
+}
+
+// Report renders a human-readable summary of a run for the CLI.
+func Report(r Result) string {
+	out := fmt.Sprintf("chaos seed=%d passed=%v endurance: updates=%d oom=%v elapsed=%v",
+		r.Seed, r.Passed, r.Endurance.Updates, r.Endurance.OOM, r.Endurance.Elapsed.Round(time.Millisecond))
+	names := make([]string, 0, len(r.Injected))
+	for name := range r.Injected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out += fmt.Sprintf("\n  %-18s arrivals=%-8d fired=%d", name, r.Arrivals[name], r.Injected[name])
+	}
+	for _, f := range r.Failures {
+		out += "\n  FAIL: " + f
+	}
+	return out
+}

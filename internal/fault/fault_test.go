@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prudence/internal/metrics"
+)
+
+func TestDisabledFireIsNoop(t *testing.T) {
+	Disable()
+	if Fire(PageAllocFail) || FireDelay(GPStall) != 0 {
+		t.Fatal("disabled injector fired")
+	}
+	if Enabled() || Current() != nil {
+		t.Fatal("no injector should be active")
+	}
+}
+
+func TestDecideIsDeterministic(t *testing.T) {
+	th := rateThreshold(0.3)
+	for n := uint64(0); n < 1000; n++ {
+		a := Decide(42, RefillFail, n, th)
+		b := Decide(42, RefillFail, n, th)
+		if a != b {
+			t.Fatalf("Decide not stable at n=%d", n)
+		}
+	}
+	// Different seeds and different points must give different streams.
+	sameSeed, samePoint := 0, 0
+	for n := uint64(0); n < 1000; n++ {
+		if Decide(42, RefillFail, n, th) == Decide(43, RefillFail, n, th) {
+			sameSeed++
+		}
+		if Decide(42, RefillFail, n, th) == Decide(42, GPStall, n, th) {
+			samePoint++
+		}
+	}
+	if sameSeed == 1000 || samePoint == 1000 {
+		t.Fatalf("decision streams identical across seeds (%d) or points (%d)", sameSeed, samePoint)
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	inj := New(Config{Seed: 7, Rules: map[Point]Rule{
+		RefillFail: {Rate: 1},
+		GPStall:    {Rate: 0},
+	}})
+	for i := 0; i < 100; i++ {
+		if !inj.fire(RefillFail) {
+			t.Fatal("rate=1 point did not fire")
+		}
+		if inj.fire(GPStall) {
+			t.Fatal("rate=0 point fired")
+		}
+	}
+	if got := inj.Fired(RefillFail); got != 100 {
+		t.Fatalf("Fired = %d, want 100", got)
+	}
+	if got := inj.Arrivals(GPStall); got != 0 {
+		t.Fatalf("rate=0 point counted arrivals: %d", got)
+	}
+}
+
+func TestRateIsRoughlyHonored(t *testing.T) {
+	inj := New(Config{Seed: 99, Rules: map[Point]Rule{PageAllocFail: {Rate: 0.25}}})
+	const trials = 10000
+	fired := 0
+	for i := 0; i < trials; i++ {
+		if inj.fire(PageAllocFail) {
+			fired++
+		}
+	}
+	if fired < trials/5 || fired > trials/3 {
+		t.Fatalf("rate 0.25 fired %d/%d times", fired, trials)
+	}
+}
+
+func TestMaxCapsFirings(t *testing.T) {
+	inj := New(Config{Seed: 1, Rules: map[Point]Rule{RefillFail: {Rate: 1, Max: 3}}})
+	fired := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if inj.fire(RefillFail) {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 3 || inj.Fired(RefillFail) != 3 {
+		t.Fatalf("Max=3 but fired %d (counter %d)", fired, inj.Fired(RefillFail))
+	}
+}
+
+// TestPerPointScheduleReplays is the core replay property: two
+// injectors with the same seed and rules, driven with the same
+// per-point arrival counts (even from different goroutine
+// interleavings), fire on exactly the same arrival indices.
+func TestPerPointScheduleReplays(t *testing.T) {
+	cfg := Config{Seed: 12345, Rules: map[Point]Rule{
+		RefillFail:    {Rate: 0.2},
+		PageAllocFail: {Rate: 0.05},
+	}}
+	run := func(parallel bool) map[Point][]uint64 {
+		inj := New(cfg)
+		if parallel {
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						inj.fire(RefillFail)
+						inj.fire(PageAllocFail)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < 2000; i++ {
+				inj.fire(RefillFail)
+				inj.fire(PageAllocFail)
+			}
+		}
+		return inj.FiredArrivals()
+	}
+	a, b := run(false), run(true)
+	for _, p := range []Point{RefillFail, PageAllocFail} {
+		if len(a[p]) == 0 {
+			t.Fatalf("%v never fired; schedule test is vacuous", p)
+		}
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("%v fired %d vs %d times", p, len(a[p]), len(b[p]))
+		}
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatalf("%v firing %d: arrival %d vs %d", p, i, a[p][i], b[p][i])
+			}
+		}
+		// And the realized schedule matches the pure decision function.
+		th := rateThreshold(cfg.Rules[p].Rate)
+		for _, n := range a[p] {
+			if !Decide(cfg.Seed, p, n, th) {
+				t.Fatalf("%v fired at arrival %d but Decide says no", p, n)
+			}
+		}
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	inj := New(Config{Seed: 5, LogLimit: 10, Rules: map[Point]Rule{CBDelay: {Rate: 1}}})
+	for i := 0; i < 50; i++ {
+		inj.fire(CBDelay)
+	}
+	if len(inj.Log()) != 10 {
+		t.Fatalf("log length = %d, want 10", len(inj.Log()))
+	}
+	if inj.LostEvents() != 40 {
+		t.Fatalf("LostEvents = %d, want 40", inj.LostEvents())
+	}
+}
+
+func TestPointNamesRoundTrip(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		name := p.String()
+		if name == "" || strings.HasPrefix(name, "point(") {
+			t.Fatalf("point %d has no name", p)
+		}
+		got, ok := PointByName(name)
+		if !ok || got != p {
+			t.Fatalf("PointByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := PointByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestEnableDisableAndMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterMetrics(reg)
+
+	// Nothing emitted while disabled.
+	Disable()
+	for name := range reg.Gather() {
+		if strings.HasPrefix(name, "prudence_fault_") {
+			t.Fatalf("series %q emitted with no injector", name)
+		}
+	}
+
+	inj := Enable(Config{Seed: 3, Rules: map[Point]Rule{GPStall: {Rate: 1, Delay: 1}}})
+	defer Disable()
+	if !Enabled() || Current() != inj {
+		t.Fatal("Enable did not install the injector")
+	}
+	if d := FireDelay(GPStall); d != 1 {
+		t.Fatalf("FireDelay = %v, want 1ns", d)
+	}
+	Sleep(GPStall)
+	g := reg.Gather()
+	if g[`prudence_fault_injections_total{point="gp_stall"}`] != 2 {
+		t.Fatalf("injections metric = %v, want 2 (gather: %v)", g[`prudence_fault_injections_total{point="gp_stall"}`], g)
+	}
+	if g[`prudence_fault_arrivals_total{point="gp_stall"}`] != 2 {
+		t.Fatalf("arrivals metric missing: %v", g)
+	}
+	if !strings.Contains(inj.Summary(), "gp_stall") {
+		t.Fatalf("Summary missing point: %q", inj.Summary())
+	}
+}

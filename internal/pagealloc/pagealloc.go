@@ -36,7 +36,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"prudence/internal/fault"
 	"prudence/internal/memarena"
 	"prudence/internal/metrics"
 )
@@ -70,6 +72,14 @@ func groupOf(order int) int {
 // be assembled.
 var ErrOutOfMemory = errors.New("pagealloc: out of memory")
 
+// ErrDoubleFree is returned by Free for a run that is not currently
+// allocated: a double free, or a free of a never-allocated run.
+var ErrDoubleFree = errors.New("pagealloc: free of non-allocated run")
+
+// ErrWrongOrder is returned by Free when the run's order does not match
+// the order it was allocated with.
+var ErrWrongOrder = errors.New("pagealloc: free with mismatched order")
+
 // Run identifies an allocated run of 2^Order contiguous pages starting
 // at page Start.
 type Run struct {
@@ -89,6 +99,7 @@ type Stats struct {
 	Failures  uint64 // allocations that returned ErrOutOfMemory
 	PreZeroed uint64 // dirty free blocks laundered to zero by idle workers
 	ZeroHits  uint64 // AllocZeroed calls served from the known-zero pool
+	BadFrees  uint64 // frees rejected as double-free or wrong-order
 }
 
 // shard is one order group's lock plus the allocated-block index for
@@ -139,6 +150,12 @@ type Allocator struct {
 	failures  atomic.Uint64
 	preZeroed atomic.Uint64
 	zeroHits  atomic.Uint64
+	badFrees  atomic.Uint64
+
+	// debugPanic restores the pre-error-API behavior of panicking on
+	// double-free / wrong-order frees, for debug builds and tests that
+	// want bugs loud rather than degraded.
+	debugPanic atomic.Bool
 
 	// zeroInFlight counts blocks temporarily absent from the free lists
 	// while an idle worker zeroes them. The OOM decision consults it:
@@ -217,8 +234,15 @@ func (a *Allocator) Stats() Stats {
 		Failures:  a.failures.Load(),
 		PreZeroed: a.preZeroed.Load(),
 		ZeroHits:  a.zeroHits.Load(),
+		BadFrees:  a.badFrees.Load(),
 	}
 }
+
+// SetDebugPanic controls whether invalid frees (double free, wrong
+// order) panic instead of returning an error. Off by default: a
+// misbehaving caller degrades (the error is counted and returned)
+// rather than killing the process.
+func (a *Allocator) SetDebugPanic(on bool) { a.debugPanic.Store(on) }
 
 // SetPressureWatermark configures the used-page count at or above which
 // the allocator reports memory pressure. Subscribers are notified on
@@ -344,11 +368,27 @@ func (a *Allocator) AllocZeroed(order int) (Run, bool, error) {
 	return a.alloc(order, true)
 }
 
+// zeroWaitSpins is how many Gosched yields alloc spends waiting for a
+// checked-out block before switching to timed sleeps, and zeroWaitMax
+// bounds the total wait. A healthy zeroer returns a block in
+// microseconds; a stalled one must not convert allocation into a hang.
+const (
+	zeroWaitSpins = 64
+	zeroWaitSleep = 20 * time.Microsecond
+	zeroWaitMax   = 50 * time.Millisecond
+)
+
 func (a *Allocator) alloc(order int, preferZeroed bool) (Run, bool, error) {
 	if order < 0 || order > MaxOrder {
 		return Run{}, false, fmt.Errorf("pagealloc: order %d out of range [0,%d]", order, MaxOrder)
 	}
-	for {
+	//prudence:fault_point
+	if fault.Fire(fault.PageAllocFail) {
+		a.failures.Add(1)
+		return Run{}, false, ErrOutOfMemory
+	}
+	var deadline time.Time
+	for attempt := 0; ; attempt++ {
 		run, zeroed, ok := a.tryAlloc(order, preferZeroed)
 		if ok {
 			a.allocs.Add(1)
@@ -365,8 +405,21 @@ func (a *Allocator) alloc(order int, preferZeroed bool) (Run, bool, error) {
 		}
 		// Free memory exists but is momentarily checked out for idle
 		// zeroing; it will be reinserted, so wait for it rather than
-		// reporting a spurious OOM.
-		runtime.Gosched()
+		// reporting a spurious OOM. The wait is bounded: a zeroer that
+		// never returns its block (stalled, wedged, killed) must surface
+		// as an allocation failure, not a hang.
+		if attempt < zeroWaitSpins {
+			runtime.Gosched()
+			continue
+		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(zeroWaitMax)
+		} else if now.After(deadline) {
+			a.failures.Add(1)
+			return Run{}, false, ErrOutOfMemory
+		}
+		time.Sleep(zeroWaitSleep)
 	}
 }
 
@@ -436,22 +489,33 @@ func (a *Allocator) coalesceInsert(start, order int, zeroed bool, locked *int) {
 	a.insertFree(o, start, zeroed)
 }
 
-// Free returns a run obtained from Alloc. Double frees and frees of
-// never-allocated runs panic: they are bugs in the slab layer, which is
-// the only client. The freed block is dirty (its content is whatever
-// the slab left); the pre-zeroing hook, when attached, is poked so an
-// idle worker can launder it.
-func (a *Allocator) Free(r Run) {
+// Free returns a run obtained from Alloc. Double frees, frees of
+// never-allocated runs, and order mismatches are bugs in the slab
+// layer (the only client); they are counted and returned as
+// ErrDoubleFree / ErrWrongOrder so the caller degrades instead of
+// dying — unless SetDebugPanic(true) asked for them loud. The freed
+// block is dirty (its content is whatever the slab left); the
+// pre-zeroing hook, when attached, is poked so an idle worker can
+// launder it.
+func (a *Allocator) Free(r Run) error {
 	g := groupOf(r.Order)
 	a.shards[g].mu.Lock()
 	order, ok := a.shards[g].blockOrd[r.Start]
 	if !ok {
 		a.shards[g].mu.Unlock()
-		panic(fmt.Sprintf("pagealloc: free of non-allocated run starting at %d", r.Start))
+		a.badFrees.Add(1)
+		if a.debugPanic.Load() {
+			panic(fmt.Sprintf("pagealloc: free of non-allocated run starting at %d", r.Start))
+		}
+		return fmt.Errorf("%w: start %d", ErrDoubleFree, r.Start)
 	}
 	if order != r.Order {
 		a.shards[g].mu.Unlock()
-		panic(fmt.Sprintf("pagealloc: free of run at %d with order %d, allocated as order %d", r.Start, r.Order, order))
+		a.badFrees.Add(1)
+		if a.debugPanic.Load() {
+			panic(fmt.Sprintf("pagealloc: free of run at %d with order %d, allocated as order %d", r.Start, r.Order, order))
+		}
+		return fmt.Errorf("%w: start %d freed as order %d, allocated as order %d", ErrWrongOrder, r.Start, r.Order, order)
 	}
 	delete(a.shards[g].blockOrd, r.Start)
 	locked := g
@@ -465,6 +529,7 @@ func (a *Allocator) Free(r Run) {
 	if fn := a.onDirtyFree.Load(); fn != nil {
 		(*fn)()
 	}
+	return nil
 }
 
 // takeDirty checks out the largest dirty free block for laundering,
@@ -571,6 +636,8 @@ func (a *Allocator) RegisterMetrics(r *metrics.Registry) {
 		func() float64 { return float64(a.preZeroed.Load()) })
 	r.CounterFunc("prudence_page_zero_hits_total", "Zeroed allocations served from the known-zero pool.",
 		func() float64 { return float64(a.zeroHits.Load()) })
+	r.CounterFunc("prudence_page_bad_frees_total", "Frees rejected as double-free or wrong-order.",
+		func() float64 { return float64(a.badFrees.Load()) })
 	r.CollectGauges("prudence_pages_free_blocks", "Free blocks per buddy order.",
 		func(emit metrics.Emit) {
 			counts := a.FreeBlockCounts()

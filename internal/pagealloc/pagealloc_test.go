@@ -1,6 +1,7 @@
 package pagealloc
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -102,8 +103,42 @@ func TestNonPowerOfTwoArenaSeeding(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeReturnsError(t *testing.T) {
 	a := newAlloc(8)
+	r, _ := a.Alloc(1)
+	if err := a.Free(r); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	if err := a.Free(r); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free err = %v, want ErrDoubleFree", err)
+	}
+	if got := a.Stats().BadFrees; got != 1 {
+		t.Fatalf("BadFrees = %d, want 1", got)
+	}
+	// The rejected free must not corrupt accounting: the block is still
+	// free exactly once.
+	if got := a.FreePages(); got != 8 {
+		t.Fatalf("FreePages = %d, want 8", got)
+	}
+}
+
+func TestWrongOrderFreeReturnsError(t *testing.T) {
+	a := newAlloc(8)
+	r, _ := a.Alloc(1)
+	if err := a.Free(Run{Start: r.Start, Order: 0}); !errors.Is(err, ErrWrongOrder) {
+		t.Fatalf("wrong-order err = %v, want ErrWrongOrder", err)
+	}
+	if got := a.Stats().BadFrees; got != 1 {
+		t.Fatalf("BadFrees = %d, want 1", got)
+	}
+	if err := a.Free(r); err != nil {
+		t.Fatalf("correct free after rejected one: %v", err)
+	}
+}
+
+func TestDoubleFreePanicsUnderDebug(t *testing.T) {
+	a := newAlloc(8)
+	a.SetDebugPanic(true)
 	r, _ := a.Alloc(1)
 	a.Free(r)
 	defer func() {
@@ -114,8 +149,9 @@ func TestDoubleFreePanics(t *testing.T) {
 	a.Free(r)
 }
 
-func TestWrongOrderFreePanics(t *testing.T) {
+func TestWrongOrderFreePanicsUnderDebug(t *testing.T) {
 	a := newAlloc(8)
+	a.SetDebugPanic(true)
 	r, _ := a.Alloc(1)
 	defer func() {
 		if recover() == nil {

@@ -1,6 +1,10 @@
 package pagealloc
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"prudence/internal/fault"
+)
 
 // IdleScheduler dispatches work to per-vCPU idle workers. It is
 // satisfied by vcpu.Machine; pagealloc only needs this slice of it.
@@ -62,11 +66,18 @@ func (z *Zeroer) run() {
 		z.armed.Store(false)
 		return // stopped
 	}
+	// Chaos: delay before checking out a block (starves the zero pool)…
+	//prudence:fault_point
+	fault.Sleep(fault.PageZeroDelay)
 	r, ok := z.a.takeDirty()
 	if !ok {
 		z.disarm()
 		return
 	}
+	// …and stall while one is checked out, widening the zeroInFlight
+	// window that alloc's bounded wait must survive.
+	//prudence:fault_point
+	fault.Sleep(fault.PageZeroStall)
 	b := z.a.Bytes(r)
 	for i := range b {
 		b[i] = 0

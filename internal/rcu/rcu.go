@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/stats"
 	"prudence/internal/vcpu"
@@ -310,6 +311,9 @@ func (r *RCU) runInlineCallbacks(cs *cpuState) {
 	} else {
 		r.throttledBatches.Add(1)
 	}
+	// Chaos: delay callback invocation (objects stay latent longer).
+	//prudence:fault_point
+	fault.Sleep(fault.CBDelay)
 	for _, cb := range batch {
 		cb.fn()
 	}
@@ -354,6 +358,13 @@ func (r *RCU) Elapsed(c Cookie) bool {
 // even though no callbacks are queued (Prudence's latent objects).
 func (r *RCU) NeedGP() {
 	r.needGP.Store(true)
+	// Chaos: a lost wakeup drops the kick after demand is recorded,
+	// leaving recovery to the driver's timer fallback — the failure mode
+	// behind the PR 2 waitElapsed hang.
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
 	select {
 	case r.kick <- struct{}{}:
 	default:
@@ -402,6 +413,37 @@ func (r *RCU) WaitElapsedOn(cpu int, c Cookie) bool {
 	ok := r.WaitElapsed(c)
 	cs.idle.Store(wasIdle)
 	return ok
+}
+
+// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
+// true as soon as the cookie elapses, or false once d has passed (or
+// the engine stopped) without it elapsing. Like WaitElapsedOn it treats
+// the calling CPU as quiescent for the duration; like waitElapsed it
+// re-raises grace-period demand on every poll so a lost wakeup cannot
+// turn the wait into its full timeout. This is the bounded wait the
+// OOM-delay path uses so a stalled grace period degrades to an OOM
+// report instead of a hang.
+func (r *RCU) WaitElapsedOnTimeout(cpu int, c Cookie, d time.Duration) bool {
+	cs := r.cpu(cpu)
+	if cs.nesting.Load() > 0 {
+		panic("rcu: WaitElapsedOnTimeout inside read-side critical section")
+	}
+	wasIdle := cs.idle.Load()
+	cs.idle.Store(true)
+	defer cs.idle.Store(wasIdle)
+	deadline := time.Now().Add(d)
+	for !r.Elapsed(c) {
+		if time.Now().After(deadline) {
+			return r.Elapsed(c)
+		}
+		r.NeedGP()
+		select {
+		case <-r.stop:
+			return r.Elapsed(c)
+		case <-time.After(r.opts.QSPollInterval):
+		}
+	}
+	return true
 }
 
 // SynchronizeOn blocks until a full grace period has elapsed, treating
@@ -592,6 +634,17 @@ func (r *RCU) gpDriver() {
 		if !r.waitForQS(target) {
 			return // stopping
 		}
+		// Chaos: stall the grace period after quiescence is observed but
+		// before completion is published — every waiter sees an
+		// arbitrarily late grace period.
+		//prudence:fault_point
+		if d := fault.FireDelay(fault.GPStall); d > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(d):
+			}
+		}
 		r.gpCompleted.Store(target)
 		r.gpHist.Observe(time.Since(gpBegin))
 		lastGP = time.Now()
@@ -682,6 +735,9 @@ func (r *RCU) cbProcessor(cpu int) {
 			} else {
 				r.throttledBatches.Add(1)
 			}
+			// Chaos: delay offloaded callback invocation.
+			//prudence:fault_point
+			fault.Sleep(fault.CBDelay)
 			for _, cb := range batch {
 				cb.fn()
 			}

@@ -546,6 +546,12 @@ type Base struct {
 	// colorNext cycles slab colors (atomic; NewSlab runs concurrently).
 	colorNext atomic.Uint32
 
+	// badPageFrees counts page frees the buddy allocator rejected
+	// (double free / wrong order). The slab is already detached when
+	// that happens, so the pages are leaked rather than double-inserted;
+	// the count keeps the degradation visible to Audit and tests.
+	badPageFrees atomic.Uint64
+
 	// ring, when non-nil, receives allocator events (see SetTrace).
 	ring atomic.Pointer[trace.Ring]
 
@@ -674,9 +680,15 @@ func (b *Base) DestroySlab(s *Slab) {
 	if b.debugger != nil {
 		b.debugger.forgetSlab(s)
 	}
-	b.Pages.Free(s.run)
+	if err := b.Pages.Free(s.run); err != nil {
+		b.badPageFrees.Add(1)
+	}
 	b.Ctr.SlabShrunk(1)
 }
+
+// BadPageFrees reports how many slab page frees the buddy allocator
+// rejected (the pages were leaked instead of double-inserted).
+func (b *Base) BadPageFrees() uint64 { return b.badPageFrees.Load() }
 
 // UserAlloc accounts one object handed to a user on cpu. The count
 // lives in the CPU's padded counter shard, so the accounting that used
@@ -896,7 +908,9 @@ func (b *Base) ShrinkNode(n *Node, limit int, elapsed func(rcu.Cookie) bool) (fr
 		if b.debugger != nil {
 			b.debugger.forgetSlab(v)
 		}
-		b.Pages.Free(v.run)
+		if err := b.Pages.Free(v.run); err != nil {
+			b.badPageFrees.Add(1)
+		}
 		b.Ctr.SlabShrunk(1)
 	}
 	return len(victims), promoted

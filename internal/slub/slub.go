@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"prudence/internal/alloc"
+	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
@@ -171,6 +172,11 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 // batched copy per slab rather than a per-object push/pop loop. Caller
 // holds the cache lock.
 func (c *Cache) refill(cpu int, cc *slabcore.PerCPUCache) {
+	// Chaos: a failed refill sends Malloc to the grow path.
+	//prudence:fault_point
+	if fault.Fire(fault.RefillFail) {
+		return
+	}
 	node := c.base.NodeFor(cpu)
 	want := cc.Size - cc.Len()
 	if want <= 0 {

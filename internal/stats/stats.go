@@ -57,7 +57,10 @@ type AllocCounters struct {
 	Shrinks      atomic.Uint64 // slab cache shrink operations (pages returned)
 	PreMoves     atomic.Uint64 // slab pre-movements between node lists (Prudence)
 	GPWaits      atomic.Uint64 // allocations that had to wait for a grace period (OOM delay)
-	OOMs         atomic.Uint64 // allocations that failed with out-of-memory
+	// OOMDelayTimeouts counts OOM-delay waits that timed out before a
+	// grace period elapsed (stalled or overloaded grace-period engine).
+	OOMDelayTimeouts atomic.Uint64
+	OOMs             atomic.Uint64 // allocations that failed with out-of-memory
 
 	peakSlabs    atomic.Int64
 	currentSlabs atomic.Int64
@@ -176,30 +179,33 @@ type AllocSnapshot struct {
 	DeferredFrees uint64
 	PreMoves      uint64
 	GPWaits       uint64
-	OOMs          uint64
-	PeakSlabs     int
-	CurrentSlabs  int
+	// OOMDelayTimeouts counts OOM-delay waits that hit their deadline.
+	OOMDelayTimeouts uint64
+	OOMs             uint64
+	PeakSlabs        int
+	CurrentSlabs     int
 }
 
 // Snapshot copies the counters.
 func (c *AllocCounters) Snapshot() AllocSnapshot {
 	return AllocSnapshot{
-		Allocs:        c.Allocs(),
-		CacheHits:     c.CacheHits(),
-		LatentHits:    c.LatentHits(),
-		Refills:       c.Refills.Load(),
-		PartialFills:  c.PartialFills.Load(),
-		Flushes:       c.Flushes.Load(),
-		PreFlushes:    c.PreFlushes.Load(),
-		Grows:         c.Grows.Load(),
-		Shrinks:       c.Shrinks.Load(),
-		Frees:         c.Frees(),
-		DeferredFrees: c.DeferredFrees(),
-		PreMoves:      c.PreMoves.Load(),
-		GPWaits:       c.GPWaits.Load(),
-		OOMs:          c.OOMs.Load(),
-		PeakSlabs:     c.PeakSlabs(),
-		CurrentSlabs:  c.CurrentSlabs(),
+		Allocs:           c.Allocs(),
+		CacheHits:        c.CacheHits(),
+		LatentHits:       c.LatentHits(),
+		Refills:          c.Refills.Load(),
+		PartialFills:     c.PartialFills.Load(),
+		Flushes:          c.Flushes.Load(),
+		PreFlushes:       c.PreFlushes.Load(),
+		Grows:            c.Grows.Load(),
+		Shrinks:          c.Shrinks.Load(),
+		Frees:            c.Frees(),
+		DeferredFrees:    c.DeferredFrees(),
+		PreMoves:         c.PreMoves.Load(),
+		GPWaits:          c.GPWaits.Load(),
+		OOMDelayTimeouts: c.OOMDelayTimeouts.Load(),
+		OOMs:             c.OOMs.Load(),
+		PeakSlabs:        c.PeakSlabs(),
+		CurrentSlabs:     c.CurrentSlabs(),
 	}
 }
 
@@ -207,22 +213,23 @@ func (c *AllocCounters) Snapshot() AllocSnapshot {
 // values are taken from s).
 func (s AllocSnapshot) Sub(o AllocSnapshot) AllocSnapshot {
 	return AllocSnapshot{
-		Allocs:        s.Allocs - o.Allocs,
-		CacheHits:     s.CacheHits - o.CacheHits,
-		LatentHits:    s.LatentHits - o.LatentHits,
-		Refills:       s.Refills - o.Refills,
-		PartialFills:  s.PartialFills - o.PartialFills,
-		Flushes:       s.Flushes - o.Flushes,
-		PreFlushes:    s.PreFlushes - o.PreFlushes,
-		Grows:         s.Grows - o.Grows,
-		Shrinks:       s.Shrinks - o.Shrinks,
-		Frees:         s.Frees - o.Frees,
-		DeferredFrees: s.DeferredFrees - o.DeferredFrees,
-		PreMoves:      s.PreMoves - o.PreMoves,
-		GPWaits:       s.GPWaits - o.GPWaits,
-		OOMs:          s.OOMs - o.OOMs,
-		PeakSlabs:     s.PeakSlabs,
-		CurrentSlabs:  s.CurrentSlabs,
+		Allocs:           s.Allocs - o.Allocs,
+		CacheHits:        s.CacheHits - o.CacheHits,
+		LatentHits:       s.LatentHits - o.LatentHits,
+		Refills:          s.Refills - o.Refills,
+		PartialFills:     s.PartialFills - o.PartialFills,
+		Flushes:          s.Flushes - o.Flushes,
+		PreFlushes:       s.PreFlushes - o.PreFlushes,
+		Grows:            s.Grows - o.Grows,
+		Shrinks:          s.Shrinks - o.Shrinks,
+		Frees:            s.Frees - o.Frees,
+		DeferredFrees:    s.DeferredFrees - o.DeferredFrees,
+		PreMoves:         s.PreMoves - o.PreMoves,
+		GPWaits:          s.GPWaits - o.GPWaits,
+		OOMDelayTimeouts: s.OOMDelayTimeouts - o.OOMDelayTimeouts,
+		OOMs:             s.OOMs - o.OOMs,
+		PeakSlabs:        s.PeakSlabs,
+		CurrentSlabs:     s.CurrentSlabs,
 	}
 }
 

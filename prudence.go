@@ -146,6 +146,9 @@ const PageSize = memarena.PageSize
 // memory is exhausted.
 var ErrOutOfMemory = pagealloc.ErrOutOfMemory
 
+// ErrOOM is a short alias for ErrOutOfMemory (kernel spelling).
+var ErrOOM = ErrOutOfMemory
+
 // readSync unifies the two engines' surfaces used by the facade. It is
 // a superset of rcuhash.Sync, so one field serves every RCU-protected
 // structure.
