@@ -10,6 +10,7 @@
 //	prudence-bench -exp fig3 -cpus 8 -pages 16384
 //	prudence-bench -exp apps -txns 2000     # figures 7-13 from one run
 //	prudence-bench -exp scaling -json out.json
+//	prudence-bench -exp matrix -schemes rcu,hp -json out.json
 //	prudence-bench -exp fig6 -cpuprofile cpu.pb.gz -mutexprofile mtx.pb.gz
 package main
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|matrix|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
 		cpus    = flag.Int("cpus", 8, "virtual CPUs")
 		pages   = flag.Int("pages", 16384, "arena size in 4 KiB pages")
 		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, scaling, ablation)")
@@ -39,6 +40,7 @@ func main() {
 		repeats = flag.Int("repeats", 3, "application comparison repeats; figure 13 reports medians")
 		dosMs   = flag.Int("dos-ms", 1500, "DoS attack duration in milliseconds")
 		metrics = flag.Bool("metrics", false, "dump each stack's Prometheus metrics on teardown")
+		schemes = flag.String("schemes", "", "comma-separated reclamation schemes for the matrix (empty = all registered)")
 
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON records) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,6 +132,21 @@ func main() {
 	if want("scaling") {
 		run("scaling", func() error {
 			res, err := bench.RunScaling(cfg, *size, *pairs, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			records = append(records, res.Records()...)
+			return nil
+		})
+	}
+	if want("matrix") {
+		run("matrix", func() error {
+			var list []string
+			if *schemes != "" {
+				list = strings.Split(*schemes, ",")
+			}
+			res, err := bench.RunMatrix(cfg, *size, *pairs, list, nil)
 			if err != nil {
 				return err
 			}
@@ -251,8 +268,8 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig6") && !want("scaling") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling apps fig7..fig13 cost dos ablation all\n", *exp)
+	if !want("fig6") && !want("scaling") && !want("matrix") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling matrix apps fig7..fig13 cost dos ablation all\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		chaos        = flag.Bool("chaos", false, "run the seeded chaos harness instead of the Figure 3 experiment")
 		seed         = flag.Uint64("seed", 1, "fault-injection seed for -chaos (same seed replays the same schedule)")
 		watchdog     = flag.Duration("watchdog", 2*time.Minute, "chaos-mode hang detector")
+		scheme       = flag.String("scheme", "", "reclamation scheme for -chaos (rcu|ebr|hp|nebr; empty = rcu)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 			Updates:  *updates,
 			Pairs:    *updates,
 			Watchdog: *watchdog,
+			Scheme:   *scheme,
 		})
 		fmt.Println(chaostest.Report(res))
 		if !res.Passed {

@@ -24,6 +24,7 @@ import (
 	"prudence/internal/pagealloc"
 	"prudence/internal/rcu"
 	"prudence/internal/slub"
+	gsync "prudence/internal/sync"
 	"prudence/internal/vcpu"
 	"prudence/internal/workload"
 )
@@ -41,7 +42,13 @@ const (
 type Config struct {
 	CPUs       int
 	ArenaPages int
-	RCU        rcu.Options
+	// Scheme selects the reclamation backend by registered name; empty
+	// means "rcu", built directly from the RCU options below. Other
+	// schemes (ebr, hp, nebr) are resolved through the internal/sync
+	// registry, deriving their options from the RCU ones where they
+	// translate (grace-period interval, batch, throttle).
+	Scheme string
+	RCU    rcu.Options
 	// Prudence carries the ablation toggles (ignored for SLUB).
 	Prudence core.Options
 	// PressureWatermark arms the page allocator's memory pressure
@@ -82,11 +89,17 @@ func DefaultConfig() Config {
 // Stack is a fully assembled simulated machine plus allocator.
 type Stack struct {
 	Kind    Kind
+	Scheme  string
 	Arena   *memarena.Arena
 	Pages   *pagealloc.Allocator
 	Machine *vcpu.Machine
-	RCU     *rcu.RCU
-	Alloc   alloc.Allocator
+	// Sync is the reclamation backend every layer shares. RCU aliases
+	// it when (and only when) Scheme is "rcu" — the figure runners that
+	// introspect engine internals (Fig. 3's backlog) use it and must
+	// nil-check.
+	Sync  gsync.Backend
+	RCU   *rcu.RCU
+	Alloc alloc.Allocator
 	// Reg collects every layer's metrics; WriteMetrics scrapes it.
 	Reg *metrics.Registry
 
@@ -94,25 +107,48 @@ type Stack struct {
 	zeroer    *pagealloc.Zeroer
 }
 
-// NewStack builds a machine and allocator of the given kind.
+// NewStack builds a machine and allocator of the given kind, backed by
+// cfg.Scheme's reclamation backend.
 func NewStack(kind Kind, cfg Config) *Stack {
-	s := &Stack{Kind: kind, metricsTo: cfg.MetricsTo}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "rcu"
+	}
+	s := &Stack{Kind: kind, Scheme: cfg.Scheme, metricsTo: cfg.MetricsTo}
 	s.Arena = memarena.New(cfg.ArenaPages)
 	s.Pages = pagealloc.New(s.Arena)
 	s.Machine = vcpu.NewMachine(cfg.CPUs)
-	s.RCU = rcu.New(s.Machine, cfg.RCU)
+	if cfg.Scheme == "rcu" {
+		// Build directly so the full rcu.Options surface (expedited
+		// blimit, QS poll) keeps applying, not just the subset the
+		// registry factory maps.
+		s.RCU = rcu.New(s.Machine, cfg.RCU)
+		s.Sync = s.RCU
+	} else {
+		backend, err := gsync.New(cfg.Scheme, s.Machine, gsync.Options{
+			GPInterval:   cfg.RCU.MinGPInterval,
+			PollInterval: cfg.RCU.QSPollInterval,
+			RetireBatch:  cfg.RCU.Blimit,
+			RetireDelay:  cfg.RCU.ThrottleDelay,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		s.Sync = backend
+	}
 	if cfg.PressureWatermark == 0 {
 		cfg.PressureWatermark = cfg.ArenaPages * 3 / 4
 	}
 	if cfg.PressureWatermark > 0 {
-		s.Pages.OnPressure(s.RCU.SetPressure)
+		if ps, ok := s.Sync.(gsync.PressureSetter); ok {
+			s.Pages.OnPressure(ps.SetPressure)
+		}
 		s.Pages.SetPressureWatermark(cfg.PressureWatermark)
 	}
 	switch kind {
 	case KindSLUB:
-		s.Alloc = slub.New(s.Pages, s.RCU, cfg.CPUs)
+		s.Alloc = slub.New(s.Pages, s.Sync, cfg.CPUs)
 	case KindPrudence:
-		s.Alloc = core.New(s.Pages, s.RCU, s.Machine, cfg.Prudence)
+		s.Alloc = core.New(s.Pages, s.Sync, s.Machine, cfg.Prudence)
 	default:
 		panic(fmt.Sprintf("bench: unknown allocator kind %q", kind))
 	}
@@ -121,7 +157,7 @@ func NewStack(kind Kind, cfg Config) *Stack {
 	}
 	s.Reg = metrics.NewRegistry()
 	s.Pages.RegisterMetrics(s.Reg)
-	s.RCU.RegisterMetrics(s.Reg)
+	s.Sync.RegisterMetrics(s.Reg)
 	s.Alloc.RegisterMetrics(s.Reg)
 	s.Machine.RegisterMetrics(s.Reg)
 	return s
@@ -134,7 +170,7 @@ func (s *Stack) WriteMetrics(w io.Writer) error {
 
 // Env returns the workload environment view of the stack.
 func (s *Stack) Env() workload.Env {
-	return workload.Env{Machine: s.Machine, RCU: s.RCU, Pages: s.Pages}
+	return workload.Env{Machine: s.Machine, Sync: s.Sync, Pages: s.Pages}
 }
 
 // Close tears the stack down, dumping the metrics registry first if the
@@ -147,7 +183,7 @@ func (s *Stack) Close() {
 	if s.zeroer != nil {
 		s.zeroer.Stop()
 	}
-	s.RCU.Stop()
+	s.Sync.Stop()
 	s.Machine.Stop()
 }
 

@@ -132,8 +132,10 @@ func RunFig3(cfg Config, f3 Fig3Config) (Fig3Result, error) {
 		})
 		close(stopSampler)
 		<-samplerDone
-		side.GPs = s.RCU.GPsCompleted()
-		side.CBBacklog = s.RCU.Stats().MaxBacklog
+		side.GPs = s.Sync.GPsCompleted()
+		if s.RCU != nil { // engine-internal: callback backlog is rcu-only
+			side.CBBacklog = s.RCU.Stats().MaxBacklog
+		}
 		side.PeakBytes = int64(s.Arena.PeakPages()) * 4096
 		side.FinalBytes = s.Arena.UsedBytes()
 		switch kind {

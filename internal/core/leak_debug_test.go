@@ -52,7 +52,7 @@ func TestLeakReproNoPreMove(t *testing.T) {
 			CacheSize: 8, FreeSlabLimit: 2, Poison: true,
 		}
 		c := a.NewCache(cfg).(*Cache)
-		env := workload.Env{Machine: machine, RCU: r, Pages: pages}
+		env := workload.Env{Machine: machine, Sync: r, Pages: pages}
 		_ = env
 		machine.RunOnAll(func(cpu *vcpu.CPU) {
 			id := cpu.ID()

@@ -42,6 +42,7 @@ import (
 	"prudence/internal/rcu"
 	"prudence/internal/slabcore"
 	"prudence/internal/stats"
+	gsync "prudence/internal/sync"
 	"prudence/internal/trace"
 	"prudence/internal/vcpu"
 )
@@ -99,32 +100,17 @@ func (o Options) withDefaults() Options {
 // GracePeriods is the integration surface the paper's §4 (requirement
 // ii) adds to the synchronization mechanism: a pollable grace-period
 // state. Prudence is agnostic to HOW grace periods are detected —
-// context-switch counting (internal/rcu) and epoch-based reclamation
-// (internal/ebr) both satisfy it, demonstrating the paper's point that
+// context-switch counting (internal/rcu), epoch-based reclamation
+// (internal/ebr, internal/nebr) and hazard-pointer scanning
+// (internal/hp) all satisfy it, demonstrating the paper's point that
 // the added complexity stays inside the allocator.
-type GracePeriods interface {
-	// Snapshot returns a cookie that elapses once every reader existing
-	// now has finished.
-	Snapshot() rcu.Cookie
-	// Elapsed reports whether a full grace period has passed since the
-	// cookie was taken.
-	Elapsed(rcu.Cookie) bool
-	// NeedGP signals demand for a grace period even with no callbacks.
-	NeedGP()
-	// WaitElapsedOn blocks until the cookie elapses, treating the
-	// calling CPU as quiescent; returns false if the engine stopped.
-	WaitElapsedOn(cpu int, c rcu.Cookie) bool
-	// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
-	// false if d passes (or the engine stops) before the cookie elapses.
-	// The OOM-delay path uses it so a stalled grace period degrades to
-	// an out-of-memory report instead of a hang.
-	WaitElapsedOnTimeout(cpu int, c rcu.Cookie, d time.Duration) bool
-	// GPsCompleted counts completed grace periods (used to gate
-	// once-per-grace-period work).
-	GPsCompleted() uint64
-	// Synchronize blocks until a full grace period has elapsed.
-	Synchronize()
-}
+//
+// Deprecated: GracePeriods is now an alias for the canonical
+// internal/sync.Backend interface, which unified the historical
+// per-engine surfaces (this interface, the facade's private readSync,
+// rcuhash.Sync, rculist.ReadSync). New code should name sync.Backend
+// directly; the alias is kept so existing callers compile unchanged.
+type GracePeriods = gsync.Backend
 
 // Allocator is the Prudence allocator.
 type Allocator struct {

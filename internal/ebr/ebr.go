@@ -24,8 +24,8 @@ import (
 
 	"prudence/internal/fault"
 	"prudence/internal/metrics"
-	"prudence/internal/rcu"
 	"prudence/internal/stats"
+	gsync "prudence/internal/sync"
 	"prudence/internal/vcpu"
 )
 
@@ -37,6 +37,24 @@ type Options struct {
 	// PollInterval is how often the advancer re-checks pinned CPUs
 	// (default 20µs).
 	PollInterval time.Duration
+	// RetireBatch bounds how many retired objects the limbo drainer
+	// invokes per burst (default 32); RetireDelay is the pause between
+	// bursts (default 0).
+	RetireBatch int
+	RetireDelay time.Duration
+}
+
+func init() {
+	gsync.Register("ebr", func(m *vcpu.Machine, o gsync.Options) gsync.Backend {
+		return New(m, Options{
+			// Two epoch advances make one grace period, so the generic
+			// grace-period interval halves into the advance interval.
+			AdvanceInterval: o.GPInterval / 2,
+			PollInterval:    o.PollInterval,
+			RetireBatch:     o.RetireBatch,
+			RetireDelay:     o.RetireDelay,
+		})
+	})
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +86,7 @@ type EBR struct {
 	epoch  atomic.Uint64 // global epoch counter
 	needGP atomic.Bool
 	gpHist stats.Histogram // latency of each two-advance grace period
+	queue  *gsync.RetireQueue
 
 	gpMu   sync.Mutex
 	gpCond *sync.Cond
@@ -93,6 +112,8 @@ func New(machine *vcpu.Machine, opts Options) *EBR {
 	}
 	e.wg.Add(1)
 	go e.advancer()
+	e.queue = gsync.NewRetireQueue(e, machine.NumCPU(),
+		e.opts.RetireBatch, e.opts.RetireDelay, e.opts.PollInterval)
 	return e
 }
 
@@ -100,6 +121,7 @@ func New(machine *vcpu.Machine, opts Options) *EBR {
 func (e *EBR) Stop() {
 	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	e.queue.Stop()
 	e.gpMu.Lock()
 	e.gpCond.Broadcast()
 	e.gpMu.Unlock()
@@ -160,12 +182,12 @@ func (e *EBR) Epoch() uint64 { return e.epoch.Load() }
 // CPUs pinned at OLDER epochs), so two advances bound their lifetime.
 
 // Snapshot returns a grace-period cookie.
-func (e *EBR) Snapshot() rcu.Cookie {
-	return rcu.Cookie(e.epoch.Load() + 2)
+func (e *EBR) Snapshot() gsync.Cookie {
+	return gsync.Cookie(e.epoch.Load() + 2)
 }
 
 // Elapsed reports whether the cookie's grace period has passed.
-func (e *EBR) Elapsed(c rcu.Cookie) bool {
+func (e *EBR) Elapsed(c gsync.Cookie) bool {
 	return e.epoch.Load() >= uint64(c)
 }
 
@@ -192,7 +214,7 @@ func (e *EBR) GPsCompleted() uint64 { return e.epoch.Load() / 2 }
 // (the caller is outside any critical section by contract), so the
 // calling CPU needs no special quiescent treatment: its pinned flag is
 // already clear.
-func (e *EBR) WaitElapsedOn(cpu int, c rcu.Cookie) bool {
+func (e *EBR) WaitElapsedOn(cpu int, c gsync.Cookie) bool {
 	if e.cpu(cpu).nesting > 0 {
 		panic("ebr: WaitElapsedOn inside critical section")
 	}
@@ -205,7 +227,7 @@ func (e *EBR) WaitElapsedOn(cpu int, c rcu.Cookie) bool {
 // for the same reason waitElapsed re-raises it — the advancer clears
 // demand on even advances, and a cookie snapshotted at an odd epoch
 // outlives the pair that cleared it.
-func (e *EBR) WaitElapsedOnTimeout(cpu int, c rcu.Cookie, d time.Duration) bool {
+func (e *EBR) WaitElapsedOnTimeout(cpu int, c gsync.Cookie, d time.Duration) bool {
 	if e.cpu(cpu).nesting > 0 {
 		panic("ebr: WaitElapsedOnTimeout inside critical section")
 	}
@@ -229,7 +251,7 @@ func (e *EBR) Synchronize() {
 	e.waitElapsed(e.Snapshot())
 }
 
-func (e *EBR) waitElapsed(c rcu.Cookie) bool {
+func (e *EBR) waitElapsed(c gsync.Cookie) bool {
 	if e.Elapsed(c) {
 		return true
 	}
@@ -363,3 +385,30 @@ func (e *EBR) SynchronizeOn(cpu int) {
 	}
 	e.Synchronize()
 }
+
+// QuiescentState is a no-op: epochs detect reader completion through
+// pinning, not context-switch quiescent states.
+func (e *EBR) QuiescentState(cpu int) {}
+
+// EnterIdle is a no-op: an idle CPU is simply one that is not pinned.
+func (e *EBR) EnterIdle(cpu int) {}
+
+// ExitIdle is a no-op, mirroring EnterIdle.
+func (e *EBR) ExitIdle(cpu int) {}
+
+// Retire schedules fn to run once every reader that might hold the
+// retired object has finished: the entry lands in cpu's limbo bag
+// stamped with the current cookie and the drainer invokes it once two
+// epoch advances have passed.
+func (e *EBR) Retire(cpu int, fn func()) { e.queue.Retire(cpu, fn) }
+
+// Barrier blocks until every retirement accepted before the call has
+// run (or the engine stopped).
+func (e *EBR) Barrier() { e.queue.Barrier() }
+
+// SetPressure expedites limbo draining under memory pressure.
+func (e *EBR) SetPressure(under bool) { e.queue.SetPressure(under) }
+
+// RetireBacklog returns the number of retired objects awaiting their
+// epoch pair.
+func (e *EBR) RetireBacklog() int64 { return e.queue.Pending() }

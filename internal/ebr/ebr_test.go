@@ -305,3 +305,40 @@ func TestDataStructuresOverEBR(t *testing.T) {
 		t.Fatalf("%d pages leaked over EBR", used)
 	}
 }
+
+// Retire parks objects in the engine's limbo bags until a full grace
+// period passes; a pinned reader holds them there and Barrier observes
+// the eventual drain. (The queue mechanics themselves are tested in
+// internal/sync; this pins the ebr wiring.)
+func TestRetireAndBarrier(t *testing.T) {
+	_, e := newEngine(t, 2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		e.Enter(1)
+		close(entered)
+		<-release
+		e.Exit(1)
+	}()
+	<-entered
+	var freed atomic.Bool
+	e.Retire(0, func() { freed.Store(true) })
+	if e.RetireBacklog() != 1 {
+		t.Fatalf("RetireBacklog = %d, want 1", e.RetireBacklog())
+	}
+	time.Sleep(5 * time.Millisecond)
+	if freed.Load() {
+		t.Fatal("retired object reclaimed under a pinned reader")
+	}
+	close(release)
+	<-readerDone
+	e.Barrier()
+	if !freed.Load() {
+		t.Fatal("Barrier returned before the retirement ran")
+	}
+	if e.RetireBacklog() != 0 {
+		t.Fatalf("RetireBacklog = %d after Barrier", e.RetireBacklog())
+	}
+}

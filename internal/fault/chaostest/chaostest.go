@@ -43,6 +43,10 @@ type Config struct {
 	// Watchdog bounds the whole run; exceeding it is itself an
 	// invariant failure (something hung). Default 2 minutes.
 	Watchdog time.Duration
+	// Scheme selects the reclamation backend under chaos (default
+	// "rcu"); every registered scheme must satisfy the same
+	// degradation invariants.
+	Scheme string
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +82,8 @@ func Rules() map[fault.Point]fault.Rule {
 		fault.RefillFail:       {Rate: 0.05},
 		fault.LatentFlushDelay: {Rate: 0.10, Delay: 200 * time.Microsecond},
 		fault.OOMDelayExpire:   {Rate: 0.50},
+		fault.HPScanDelay:      {Rate: 0.05, Delay: 500 * time.Microsecond},
+		fault.NeutralizeLost:   {Rate: 0.25},
 	}
 }
 
@@ -115,6 +121,7 @@ func Run(cfg Config) Result {
 	bcfg := bench.DefaultConfig()
 	bcfg.CPUs = cfg.CPUs
 	bcfg.ArenaPages = cfg.Pages
+	bcfg.Scheme = cfg.Scheme
 	bcfg.Prudence = core.Options{
 		OOMDelayWait:    2 * time.Millisecond,
 		OOMDelayRetries: 3,
@@ -174,8 +181,8 @@ func runPhases(cfg Config, stack *bench.Stack, fail func(string, ...any)) worklo
 	live := make(map[slabcore.Ref]int, 1024)
 	env.Machine.RunOnAll(func(c *vcpu.CPU) {
 		cpu := c.ID()
-		env.RCU.ExitIdle(cpu)
-		defer env.RCU.EnterIdle(cpu)
+		env.Sync.ExitIdle(cpu)
+		defer env.Sync.EnterIdle(cpu)
 		rng := cfg.Seed ^ (uint64(cpu)+1)*0x9e3779b97f4a7c15
 		next := func() uint64 {
 			rng ^= rng << 13
@@ -206,7 +213,7 @@ func runPhases(cfg Config, stack *bench.Stack, fail func(string, ...any)) worklo
 					release(held[len(held)-1])
 					held = held[:len(held)-1]
 				}
-				env.RCU.QuiescentState(cpu)
+				env.Sync.QuiescentState(cpu)
 				continue
 			}
 			mu.Lock()
@@ -223,7 +230,7 @@ func runPhases(cfg Config, stack *bench.Stack, fail func(string, ...any)) worklo
 			} else {
 				release(ref)
 			}
-			env.RCU.QuiescentState(cpu)
+			env.Sync.QuiescentState(cpu)
 		}
 		for _, ref := range held {
 			release(ref)
@@ -233,7 +240,7 @@ func runPhases(cfg Config, stack *bench.Stack, fail func(string, ...any)) worklo
 	// Post-run consistency: with everything freed, the tracked cache
 	// must drain to zero requested objects and pass its structural
 	// audit, even after the injected failures.
-	stack.RCU.Synchronize()
+	stack.Sync.Synchronize()
 	tcache.Drain()
 	if got := tcache.Counters().Requested(); got != 0 {
 		fail("tracked cache: %d objects still requested after full free + drain", got)

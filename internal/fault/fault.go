@@ -60,6 +60,14 @@ const (
 	// OOMDelayExpire forces an OOM-delay grace-period wait to behave as
 	// if it timed out without a grace period elapsing.
 	OOMDelayExpire
+	// HPScanDelay stalls a hazard-pointer scan-and-reclaim pass before
+	// it collects the published protections, extending retire-list
+	// residency.
+	HPScanDelay
+	// NeutralizeLost drops a neutralize signal the nebr advancer would
+	// have sent to a straggler CPU; the advancer must retry rather than
+	// advance unsafely or hang.
+	NeutralizeLost
 
 	// NumPoints is the number of defined points.
 	NumPoints
@@ -75,6 +83,8 @@ var pointNames = [NumPoints]string{
 	RefillFail:       "refill_fail",
 	LatentFlushDelay: "latent_flush_delay",
 	OOMDelayExpire:   "oom_delay_expire",
+	HPScanDelay:      "hp_scan_delay",
+	NeutralizeLost:   "nebr_neutralize_lost",
 }
 
 func (p Point) String() string {

@@ -1,0 +1,199 @@
+package nebr_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prudence/internal/fault"
+	"prudence/internal/nebr"
+	gsync "prudence/internal/sync"
+	"prudence/internal/sync/synctest"
+	"prudence/internal/vcpu"
+)
+
+var _ gsync.Backend = (*nebr.NEBR)(nil)
+
+func newNEBR(t *testing.T, cpus int, opts nebr.Options) *nebr.NEBR {
+	t.Helper()
+	m := vcpu.NewMachine(cpus)
+	t.Cleanup(m.Stop)
+	e := nebr.New(m, opts)
+	t.Cleanup(e.Stop)
+	return e
+}
+
+// The conformance suite runs with neutralization disarmed (bound far
+// above any suite hold window), where nebr must behave exactly like
+// plain EBR; the tests below then arm it.
+func TestConformance(t *testing.T) {
+	synctest.Run(t, 4, func(t *testing.T) gsync.Backend {
+		m := vcpu.NewMachine(4)
+		t.Cleanup(m.Stop)
+		return nebr.New(m, nebr.Options{
+			AdvanceInterval: 500 * time.Microsecond,
+			NeutralizeAfter: time.Minute,
+		})
+	})
+}
+
+// A reader stalled inside a critical section past NeutralizeAfter is
+// forcibly unpinned: the grace period completes, retired memory drains,
+// and the reader finds the neutralization mark it must restart on.
+func TestNeutralizationUnblocksReclamation(t *testing.T) {
+	e := newNEBR(t, 2, nebr.Options{
+		AdvanceInterval: 200 * time.Microsecond,
+		NeutralizeAfter: 2 * time.Millisecond,
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		e.ReadLock(1)
+		close(entered)
+		<-release // stalled far past NeutralizeAfter
+		e.ReadUnlock(1)
+		if !e.Neutralized(1) {
+			t.Error("stalled reader exited without a neutralization mark")
+		}
+	}()
+	<-entered
+
+	var freed atomic.Bool
+	e.Retire(0, func() { freed.Store(true) })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Synchronize()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Synchronize blocked behind a stalled reader — neutralization never fired")
+	}
+	if e.Neutralizations() == 0 {
+		t.Fatal("grace period completed but no neutralization was recorded")
+	}
+	e.Barrier()
+	if !freed.Load() {
+		t.Fatal("retired object not reclaimed after neutralization")
+	}
+	close(release)
+	<-readerDone
+}
+
+// A healthy reader — one that exits within the bound — is never
+// neutralized, and re-entry clears any stale mark.
+func TestHealthyReaderNotNeutralized(t *testing.T) {
+	e := newNEBR(t, 2, nebr.Options{
+		AdvanceInterval: 200 * time.Microsecond,
+		NeutralizeAfter: 30 * time.Second,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			e.ReadLock(1)
+			e.ReadUnlock(1)
+			if e.Neutralized(1) {
+				t.Error("healthy reader neutralized")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		e.Synchronize()
+	}
+	<-done
+	if e.Neutralizations() != 0 {
+		t.Fatalf("%d neutralizations with no stalled readers", e.Neutralizations())
+	}
+}
+
+// SafeEpoch is min(global epoch, pinned entry epochs - 1): a pinned
+// reader holds the frontier at its entry epoch; with no readers the
+// frontier is the global epoch itself.
+func TestSafeEpoch(t *testing.T) {
+	e := newNEBR(t, 2, nebr.Options{
+		AdvanceInterval: 200 * time.Microsecond,
+		NeutralizeAfter: time.Minute,
+	})
+	e.Synchronize()
+	if got, want := e.SafeEpoch(), e.Epoch(); got != want {
+		t.Fatalf("idle SafeEpoch = %d, epoch = %d", got, want)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		e.ReadLock(1)
+		close(entered)
+		<-release
+		e.ReadUnlock(1)
+	}()
+	<-entered
+	pinnedAt := e.SafeEpoch()
+	// Epoch advances are blocked by the straggler (neutralization is a
+	// minute away), so the frontier must hold at the reader's entry.
+	c := e.Snapshot()
+	e.WaitElapsedOnTimeout(0, c, 20*time.Millisecond)
+	if got := e.SafeEpoch(); got != pinnedAt {
+		t.Fatalf("SafeEpoch moved %d -> %d under a pinned reader", pinnedAt, got)
+	}
+	close(release)
+	<-readerDone
+	if !e.WaitElapsedOn(0, c) {
+		t.Fatal("cookie did not elapse after release")
+	}
+}
+
+// The nebr_neutralize_lost fault point models a dropped signal: with
+// every delivery suppressed, the advancer must keep retrying without
+// advancing unsafely — and once the fault clears (Max firings
+// exhausted), neutralization goes through and reclamation completes.
+func TestNeutralizeSignalLost(t *testing.T) {
+	fault.Enable(fault.Config{Seed: 7, Rules: map[fault.Point]fault.Rule{
+		fault.NeutralizeLost: {Rate: 1.0, Max: 5},
+	}})
+	defer fault.Disable()
+
+	e := newNEBR(t, 2, nebr.Options{
+		AdvanceInterval: 200 * time.Microsecond,
+		PollInterval:    200 * time.Microsecond,
+		NeutralizeAfter: time.Millisecond,
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		e.ReadLock(1)
+		close(entered)
+		<-release
+		e.ReadUnlock(1)
+		e.Neutralized(1) // consume the mark
+	}()
+	<-entered
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Synchronize()
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Synchronize hung: lost neutralize signals were never retried")
+	}
+	inj := fault.Current()
+	if inj.Fired(fault.NeutralizeLost) == 0 {
+		t.Fatal("fault point never fired — test exercised nothing")
+	}
+	if e.Neutralizations() == 0 {
+		t.Fatal("neutralization never went through after the fault cleared")
+	}
+	close(release)
+	<-readerDone
+}

@@ -38,12 +38,26 @@ import (
 	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/stats"
+	gsync "prudence/internal/sync"
 	"prudence/internal/vcpu"
 )
 
 // Cookie is a grace-period state snapshot. A cookie taken at time T has
-// elapsed once a grace period that started after T has completed.
-type Cookie uint64
+// elapsed once a grace period that started after T has completed. It is
+// an alias of the canonical internal/sync cookie, so grace-period state
+// flows between the allocator and any registered backend unchanged.
+type Cookie = gsync.Cookie
+
+func init() {
+	gsync.Register("rcu", func(m *vcpu.Machine, o gsync.Options) gsync.Backend {
+		return New(m, Options{
+			Blimit:         o.RetireBatch,
+			ThrottleDelay:  o.RetireDelay,
+			MinGPInterval:  o.GPInterval,
+			QSPollInterval: o.PollInterval,
+		})
+	})
+}
 
 // Options configures the engine. Zero fields take defaults.
 type Options struct {
@@ -489,6 +503,10 @@ func (r *RCU) Call(cpu int, fn func()) {
 	default:
 	}
 }
+
+// Retire implements the canonical backend surface's per-object
+// retirement hook; for RCU it is exactly Call.
+func (r *RCU) Retire(cpu int, fn func()) { r.Call(cpu, fn) }
 
 // PendingCallbacks returns the number of callbacks queued but not yet
 // invoked.

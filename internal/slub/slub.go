@@ -18,16 +18,16 @@ import (
 	"prudence/internal/fault"
 	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
-	"prudence/internal/rcu"
 	"prudence/internal/slabcore"
 	"prudence/internal/stats"
+	gsync "prudence/internal/sync"
 	"prudence/internal/trace"
 )
 
 // Allocator is the SLUB-model allocator.
 type Allocator struct {
 	pages *pagealloc.Allocator
-	rcu   *rcu.RCU
+	sync  gsync.Backend
 	cpus  int
 
 	// mu guards the cache registry only; it ranks below every
@@ -41,9 +41,11 @@ type Allocator struct {
 var _ alloc.Allocator = (*Allocator)(nil)
 
 // New creates a SLUB allocator over the given page allocator. r is the
-// RCU engine used to defer frees; cpus is the machine's CPU count.
-func New(pages *pagealloc.Allocator, r *rcu.RCU, cpus int) *Allocator {
-	return &Allocator{pages: pages, rcu: r, cpus: cpus}
+// reclamation backend used to defer frees — any registered scheme (rcu,
+// ebr, hp, nebr) works, since the allocator only needs Retire and
+// Barrier; cpus is the machine's CPU count.
+func New(pages *pagealloc.Allocator, r gsync.Backend, cpus int) *Allocator {
+	return &Allocator{pages: pages, sync: r, cpus: cpus}
 }
 
 // Name implements alloc.Allocator.
@@ -250,16 +252,16 @@ func (c *Cache) freeObj(cpu int, r slabcore.Ref, remote bool) {
 }
 
 // FreeDeferred implements alloc.Cache using the paper's Listing 1: the
-// writer registers an RCU callback and the object stays invisible to
-// the allocator until the callback processor frees it after a grace
-// period (plus whatever throttling delay the processor imposes).
+// writer retires the object through the reclamation backend and it
+// stays invisible to the allocator until the backend frees it after its
+// grace period (plus whatever throttling delay the backend imposes).
 func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	if d := c.base.Debugger(); d != nil {
 		d.OnFree(r, cpu)
 	}
 	c.base.Ctr.IncDeferredFrees(cpu)
 	c.base.UserFree(cpu)
-	c.alloc.rcu.Call(cpu, func() {
+	c.alloc.sync.Retire(cpu, func() {
 		c.freeObj(cpu, r, true)
 	})
 }
@@ -268,8 +270,8 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 // be processed, then flush every CPU cache and release all free slabs.
 func (c *Cache) Drain() {
 	// Wait for all deferred frees queued so far to be processed
-	// (callbacks are per-CPU FIFO, so the barrier covers this cache's).
-	c.alloc.rcu.Barrier()
+	// (retirements are per-CPU FIFO, so the barrier covers this cache's).
+	c.alloc.sync.Barrier()
 	for _, cc := range c.cpuCaches {
 		cc.LockRemote()
 		objs := cc.TakeAll()

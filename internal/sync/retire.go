@@ -1,0 +1,233 @@
+package sync
+
+import (
+	stdsync "sync"
+	"sync/atomic"
+	"time"
+)
+
+// GracePoller is the slice of Backend a RetireQueue drives reclamation
+// with: stamp retirements with Snapshot, free them once Elapsed, keep
+// demand raised with NeedGP while work is pending.
+type GracePoller interface {
+	Snapshot() Cookie
+	Elapsed(Cookie) bool
+	NeedGP()
+}
+
+// retired is one deferred function stamped with the cookie it must
+// outwait.
+type retired struct {
+	c  Cookie
+	fn func()
+}
+
+// rqShard is one CPU's limbo bag. Entries are appended in Snapshot
+// order, so the bag is cookie-sorted and the drainer frees a prefix.
+type rqShard struct {
+	// mu guards the bag only; it is released before any retired
+	// function runs (retired functions take allocator locks).
+	//
+	//prudence:lockorder 42
+	mu  stdsync.Mutex
+	bag []retired //prudence:guarded_by mu
+	// seq counts entries ever enqueued; done counts entries ever
+	// invoked. Barrier waits for done to reach its snapshot of seq —
+	// sound because the bag drains FIFO.
+	seq  atomic.Uint64
+	done atomic.Uint64
+}
+
+// RetireQueue gives per-batch schemes (ebr, nebr) their per-object
+// retirement hook: per-CPU cookie-stamped limbo bags drained by one
+// background goroutine as grace periods elapse. It is the moral
+// equivalent of internal/rcu's callback lists, shared so every epoch
+// flavor does not reimplement batching, throttling, barriers and
+// pressure expediting.
+type RetireQueue struct {
+	gp     GracePoller
+	shards []*rqShard
+
+	batch     int
+	delay     time.Duration
+	poll      time.Duration
+	pressured atomic.Bool
+
+	pending    atomic.Int64
+	maxBacklog atomic.Int64
+
+	kick     chan struct{}
+	stopOnce stdsync.Once
+	stopCh   chan struct{}
+	wg       stdsync.WaitGroup
+}
+
+// NewRetireQueue creates and starts a queue with one limbo bag per CPU.
+// batch <= 0 defaults to 32 entries per invocation burst; delay is the
+// pause between bursts (0 = none); poll <= 0 defaults to 50µs.
+func NewRetireQueue(gp GracePoller, cpus, batch int, delay, poll time.Duration) *RetireQueue {
+	if batch <= 0 {
+		batch = 32
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	if poll <= 0 {
+		poll = 50 * time.Microsecond
+	}
+	q := &RetireQueue{
+		gp:     gp,
+		shards: make([]*rqShard, cpus),
+		batch:  batch,
+		delay:  delay,
+		poll:   poll,
+		kick:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	for i := range q.shards {
+		q.shards[i] = &rqShard{}
+	}
+	q.wg.Add(1)
+	go q.drainer()
+	return q
+}
+
+// Retire enqueues fn on cpu's limbo bag, stamped with the current
+// grace-period cookie, and raises demand so the epoch machinery moves.
+func (q *RetireQueue) Retire(cpu int, fn func()) {
+	s := q.shards[cpu]
+	c := q.gp.Snapshot()
+	s.mu.Lock()
+	s.bag = append(s.bag, retired{c: c, fn: fn})
+	s.mu.Unlock()
+	s.seq.Add(1)
+	if n := q.pending.Add(1); n > q.maxBacklog.Load() {
+		q.maxBacklog.Store(n)
+	}
+	q.gp.NeedGP()
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Pending returns the number of retired functions not yet invoked.
+func (q *RetireQueue) Pending() int64 { return q.pending.Load() }
+
+// MaxBacklog returns the high-water mark of Pending.
+func (q *RetireQueue) MaxBacklog() int64 { return q.maxBacklog.Load() }
+
+// SetPressure switches the queue between throttled draining (batch +
+// delay) and expedited draining (no inter-burst delay), mirroring the
+// kernel's blimit lift under memory pressure.
+func (q *RetireQueue) SetPressure(under bool) {
+	q.pressured.Store(under)
+	if under {
+		q.gp.NeedGP()
+		select {
+		case q.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Barrier blocks until every retirement accepted before the call has
+// been invoked, or the queue stops. Demand is re-raised on every poll:
+// the epoch machinery may clear it while our cookies are still
+// outstanding (the lost-demand class PR 2 fixed in rcu).
+func (q *RetireQueue) Barrier() {
+	targets := make([]uint64, len(q.shards))
+	for i, s := range q.shards {
+		targets[i] = s.seq.Load()
+	}
+	for {
+		reached := true
+		for i, s := range q.shards {
+			if s.done.Load() < targets[i] {
+				reached = false
+				break
+			}
+		}
+		if reached {
+			return
+		}
+		q.gp.NeedGP()
+		select {
+		case q.kick <- struct{}{}:
+		default:
+		}
+		select {
+		case <-q.stopCh:
+			return
+		case <-time.After(q.poll):
+		}
+	}
+}
+
+// Stop shuts the drainer down. Entries whose grace period has already
+// elapsed are invoked (so a final Synchronize+Stop does not strand
+// reclaimable memory); the rest are dropped, as on rcu.Stop.
+func (q *RetireQueue) Stop() {
+	q.stopOnce.Do(func() {
+		close(q.stopCh)
+		q.wg.Wait()
+		for i := range q.shards {
+			q.drainShard(i, true)
+		}
+	})
+}
+
+func (q *RetireQueue) drainer() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.stopCh:
+			return
+		case <-q.kick:
+		case <-time.After(q.poll):
+		}
+		for i := range q.shards {
+			q.drainShard(i, false)
+		}
+		if q.pending.Load() > 0 {
+			// Keep demand raised until the backlog clears: the epoch
+			// machinery clears demand at grace-period boundaries, and
+			// entries stamped just before a boundary outlive it.
+			q.gp.NeedGP()
+		}
+	}
+}
+
+// drainShard invokes the elapsed prefix of shard i's bag in bounded
+// bursts, sleeping delay between bursts unless pressured (or stopping).
+func (q *RetireQueue) drainShard(i int, stopping bool) {
+	s := q.shards[i]
+	for {
+		s.mu.Lock()
+		ready := 0
+		for ready < len(s.bag) && ready < q.batch && q.gp.Elapsed(s.bag[ready].c) {
+			ready++
+		}
+		burst := make([]retired, ready)
+		copy(burst, s.bag[:ready])
+		s.bag = s.bag[ready:]
+		s.mu.Unlock()
+		if ready == 0 {
+			return
+		}
+		for _, r := range burst {
+			r.fn()
+		}
+		s.done.Add(uint64(ready))
+		q.pending.Add(-int64(ready))
+		if stopping {
+			continue
+		}
+		if q.delay > 0 && !q.pressured.Load() {
+			select {
+			case <-q.stopCh:
+			case <-time.After(q.delay):
+			}
+		}
+	}
+}

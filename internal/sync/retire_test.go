@@ -1,0 +1,112 @@
+package sync_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	gsync "prudence/internal/sync"
+)
+
+// fakePoller is a hand-cranked grace-period source: cookies are epoch+1
+// and elapse when Advance has been called past them. needGP counts
+// demand so tests can assert the queue keeps raising it.
+type fakePoller struct {
+	epoch  atomic.Uint64
+	needGP atomic.Uint64
+}
+
+func (f *fakePoller) Snapshot() gsync.Cookie      { return gsync.Cookie(f.epoch.Load() + 1) }
+func (f *fakePoller) Elapsed(c gsync.Cookie) bool { return f.epoch.Load() >= uint64(c) }
+func (f *fakePoller) NeedGP()                     { f.needGP.Add(1) }
+func (f *fakePoller) Advance()                    { f.epoch.Add(1) }
+
+func TestRetireQueueDrainsInOrder(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 2, 4, 0, 100*time.Microsecond)
+	defer q.Stop()
+
+	var order []int
+	done := make(chan int, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Retire(0, func() { done <- i })
+	}
+	if got := q.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	// Nothing may drain before the grace period elapses.
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case i := <-done:
+		t.Fatalf("entry %d drained before its cookie elapsed", i)
+	default:
+	}
+	fp.Advance() // epoch 1 >= cookie 1
+	q.Barrier()
+	if got := q.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after Barrier", got)
+	}
+	close(done)
+	for i := range done {
+		order = append(order, i)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("drain order %v not FIFO", order)
+		}
+	}
+	if q.MaxBacklog() != 10 {
+		t.Fatalf("MaxBacklog = %d, want 10", q.MaxBacklog())
+	}
+	if fp.needGP.Load() == 0 {
+		t.Fatal("queue never raised grace-period demand")
+	}
+}
+
+// Entries stamped after an advance need a later epoch than entries from
+// before it; the drainer frees exactly the elapsed prefix.
+func TestRetireQueuePartialElapse(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 1, 0, 0, 100*time.Microsecond)
+	defer q.Stop()
+
+	var early, late atomic.Bool
+	q.Retire(0, func() { early.Store(true) }) // cookie 1
+	fp.Advance()                              // epoch 1
+	q.Retire(0, func() { late.Store(true) })  // cookie 2
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !early.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("elapsed entry never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if late.Load() {
+		t.Fatal("un-elapsed entry drained")
+	}
+	fp.Advance() // epoch 2
+	q.Barrier()
+	if !late.Load() {
+		t.Fatal("second entry not drained after its epoch")
+	}
+}
+
+// Stop invokes already-elapsed entries (reclaimable memory must not be
+// stranded) and drops the rest.
+func TestRetireQueueStopDrainsElapsed(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 1, 0, 0, time.Hour) // drainer effectively parked
+	var elapsed, pinned atomic.Bool
+	q.Retire(0, func() { elapsed.Store(true) }) // cookie 1
+	fp.Advance()                                // epoch 1: first entry elapsed
+	q.Retire(0, func() { pinned.Store(true) })  // cookie 2: never elapses
+	q.Stop()
+	if !elapsed.Load() {
+		t.Fatal("Stop stranded an elapsed entry")
+	}
+	if pinned.Load() {
+		t.Fatal("Stop invoked an un-elapsed entry")
+	}
+}

@@ -1,0 +1,206 @@
+// Package sync defines the canonical synchronization-backend surface of
+// the repository: one interface every procrastination-based reclamation
+// scheme implements, and a name-keyed registry through which the facade
+// resolves Config.Reclamation.
+//
+// The interface unifies what used to be four partial views of the same
+// engines — core.GracePeriods (the allocator's pollable grace-period
+// state, the paper's §4 integration surface), the facade's private
+// readSync, rcuhash.Sync and rculist.ReadSync (the data structures'
+// read-side markers) — and adds the per-object retirement hook (Retire/
+// Barrier) that SLUB's deferred frees need. Per-batch schemes (rcu, ebr,
+// nebr) implement Retire with a cookie-stamped queue; per-pointer
+// schemes (hazard pointers) implement it with retire lists scanned
+// against published protections. Both fit behind the same eleven words
+// of contract: a retired function runs after every reader that could
+// hold the object has finished.
+//
+// Backends self-register from an init function, database/sql style:
+//
+//	func init() {
+//		sync.Register("ebr", func(m *vcpu.Machine, o sync.Options) sync.Backend {
+//			return New(m, Options{AdvanceInterval: o.GPInterval / 2})
+//		})
+//	}
+//
+// so linking a backend package is all it takes to make its name
+// resolvable. The facade links all four in-tree schemes ("rcu", "ebr",
+// "hp", "nebr").
+package sync
+
+import (
+	"fmt"
+	"sort"
+	stdsync "sync"
+	"time"
+
+	"prudence/internal/metrics"
+	"prudence/internal/vcpu"
+)
+
+// Cookie is an opaque grace-period timestamp. Snapshot returns one;
+// Elapsed answers whether every reader that existed at Snapshot time has
+// finished. Cookies from one backend are meaningless to another, but
+// within a backend they are monotone: a later Snapshot never returns a
+// smaller cookie, and Elapsed, once true for a cookie, stays true.
+//
+// internal/rcu aliases this type (rcu.Cookie = sync.Cookie), so code
+// written against either name compiles against both.
+type Cookie uint64
+
+// Backend is the full synchronization surface a reclamation scheme
+// provides. It is the union of the read-side markers the RCU-protected
+// data structures need, the pollable grace-period state the Prudence
+// allocator polls (the paper's §4 "turnkey" integration surface), and
+// the per-object retirement hook the SLUB baseline's deferred frees go
+// through.
+//
+// Per-CPU calls (ReadLock, QuiescentState, Retire, ...) follow the
+// repository-wide ownership contract: the caller must own the named
+// virtual CPU for the duration of the call.
+type Backend interface {
+	// ReadLock enters a read-side critical section on cpu. Sections may
+	// nest. Objects reachable inside the section are safe from
+	// reclamation until the matching ReadUnlock.
+	ReadLock(cpu int)
+	// ReadUnlock leaves the innermost read-side critical section on cpu.
+	ReadUnlock(cpu int)
+
+	// QuiescentState reports a context-switch-equivalent point on cpu.
+	// Quiescent-state-based schemes (rcu) use it to detect reader
+	// completion; epoch- and pointer-based schemes treat it as a no-op.
+	QuiescentState(cpu int)
+	// EnterIdle marks cpu idle: an extended quiescent state excluded
+	// from grace-period tracking until ExitIdle. No-op for schemes that
+	// do not track per-CPU activity.
+	EnterIdle(cpu int)
+	// ExitIdle marks cpu active again.
+	ExitIdle(cpu int)
+
+	// Snapshot returns a cookie that elapses once every reader existing
+	// now has finished.
+	Snapshot() Cookie
+	// Elapsed reports whether the cookie's grace period has passed.
+	Elapsed(Cookie) bool
+	// NeedGP signals demand for grace-period progress even with no
+	// callbacks queued. Backends must tolerate lost wakeups after the
+	// demand is recorded (the fault layer's lost_wakeup point): a timer
+	// fallback, not the kick, is the liveness guarantee.
+	NeedGP()
+	// WaitElapsedOn blocks until the cookie elapses, treating the
+	// calling CPU as quiescent; returns false if the backend stopped.
+	WaitElapsedOn(cpu int, c Cookie) bool
+	// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
+	// false if d passes (or the backend stops) before the cookie
+	// elapses. The allocator's OOM-delay path relies on the bounded
+	// return to degrade to an out-of-memory report instead of a hang.
+	WaitElapsedOnTimeout(cpu int, c Cookie, d time.Duration) bool
+	// GPsCompleted counts completed grace periods; it is monotone and
+	// gates once-per-grace-period work.
+	GPsCompleted() uint64
+	// Synchronize blocks until a full grace period has elapsed.
+	Synchronize()
+	// SynchronizeOn is Synchronize with the calling CPU treated as
+	// quiescent for the duration.
+	SynchronizeOn(cpu int)
+
+	// Retire schedules fn to run on some backend-managed goroutine once
+	// every reader that might hold the retired object has finished. It
+	// is the per-object retirement hook: rcu maps it to an RCU callback,
+	// ebr/nebr to a cookie-stamped limbo entry, hp to a retire-list
+	// entry scanned against published hazards.
+	Retire(cpu int, fn func())
+	// Barrier blocks until every Retire accepted before the call has
+	// run (or the backend stopped).
+	Barrier()
+
+	// Stop shuts down the backend's goroutines. Idempotent. Blocked
+	// waiters return.
+	Stop()
+	// RegisterMetrics registers the backend's observability series. All
+	// backends export the shared prudence_gp_* families so dashboards
+	// read identically over any scheme.
+	RegisterMetrics(*metrics.Registry)
+}
+
+// PressureSetter is the optional capability of reacting to memory
+// pressure by expediting reclamation (§3.5's kernel behaviour). The
+// bench harness wires the page allocator's pressure notification to any
+// backend that implements it.
+type PressureSetter interface {
+	SetPressure(under bool)
+}
+
+// Options is the scheme-independent tuning surface a factory receives.
+// Zero values mean "backend default". Each factory maps these onto its
+// scheme's own knobs (e.g. ebr halves GPInterval into its per-advance
+// interval, since two epoch advances make one grace period).
+type Options struct {
+	// GPInterval is the minimum gap between grace-period boundaries.
+	GPInterval time.Duration
+	// PollInterval is the backend's internal re-check period for
+	// straggler readers and elapsed cookies.
+	PollInterval time.Duration
+	// RetireBatch bounds how many retired objects are processed per
+	// batch (the kernel's blimit analogue).
+	RetireBatch int
+	// RetireDelay is the pause between retire-processing batches.
+	RetireDelay time.Duration
+}
+
+// Factory builds a started backend for machine.
+type Factory func(m *vcpu.Machine, o Options) Backend
+
+var (
+	registryMu stdsync.Mutex
+	registry   = make(map[string]Factory)
+)
+
+// Register makes a backend constructible by name. It panics if name is
+// empty, factory is nil, or name is already taken — registration
+// happens in init functions, where a duplicate is a programming error.
+func Register(name string, factory Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" {
+		panic("sync: Register with empty backend name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("sync: Register(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sync: Register(%q) called twice", name))
+	}
+	registry[name] = factory
+}
+
+// Registered reports whether name resolves to a backend.
+func Registered(name string) bool {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a started backend by registered name.
+func New(name string, m *vcpu.Machine, o Options) (Backend, error) {
+	registryMu.Lock()
+	factory, ok := registry[name]
+	registryMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sync: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return factory(m, o), nil
+}

@@ -37,7 +37,48 @@ type CPU struct {
 
 	idleBusyNanos atomic.Int64  // total time spent executing idle work
 	idleRuns      atomic.Uint64 // idle work items executed
+
+	// intr is the CPU's registered interrupt handler (nil = none). It
+	// models a per-CPU asynchronous signal: the handler runs in the
+	// sender's goroutine and must restrict itself to atomic operations
+	// on the target CPU's state, exactly what a real signal handler
+	// could safely do to a preempted thread.
+	intr          atomic.Pointer[func()]
+	intrDelivered atomic.Uint64
 }
+
+// SetInterrupt registers h as the CPU's interrupt handler (nil clears
+// it). DEBRA+-style neutralizing reclamation uses it to knock a stalled
+// reader's pin loose without the reader's cooperation.
+func (c *CPU) SetInterrupt(h func()) {
+	if h == nil {
+		c.intr.Store(nil)
+		return
+	}
+	c.intr.Store(&h)
+}
+
+// Interrupt delivers the CPU's interrupt: the registered handler runs
+// synchronously in the caller's goroutine. It reports whether a handler
+// was installed. Delivery is the analogue of pthread_kill on the thread
+// owning the CPU; the handler's effects become visible to the owner
+// through the atomics it touches.
+func (c *CPU) Interrupt() bool {
+	h := c.intr.Load()
+	if h == nil {
+		return false
+	}
+	c.intrDelivered.Add(1)
+	(*h)()
+	return true
+}
+
+// Interrupt delivers cpu's interrupt (see CPU.Interrupt).
+func (m *Machine) Interrupt(cpu int) bool { return m.CPU(cpu).Interrupt() }
+
+// SetInterruptOn registers h as cpu's interrupt handler (see
+// CPU.SetInterrupt).
+func (m *Machine) SetInterruptOn(cpu int, h func()) { m.CPU(cpu).SetInterrupt(h) }
 
 // ID returns the CPU's index in [0, Machine.NumCPU()).
 func (c *CPU) ID() int { return c.id }
@@ -119,6 +160,12 @@ func (m *Machine) RegisterMetrics(r *metrics.Registry) {
 		func(emit metrics.Emit) {
 			for _, c := range m.cpus {
 				emit(float64(c.idleRuns.Load()), metrics.L("cpu", strconv.Itoa(c.id)))
+			}
+		})
+	r.CollectCounters("prudence_vcpu_interrupts_total", "Interrupts delivered, per CPU.",
+		func(emit metrics.Emit) {
+			for _, c := range m.cpus {
+				emit(float64(c.intrDelivered.Load()), metrics.L("cpu", strconv.Itoa(c.id)))
 			}
 		})
 	r.GaugeFunc("prudence_vcpu_idle_ratio", "Fraction of machine time not spent on idle work (1 = fully available).",

@@ -27,16 +27,19 @@ import (
 
 	"prudence/internal/alloc"
 	"prudence/internal/pagealloc"
-	"prudence/internal/rcu"
 	"prudence/internal/rculist"
 	"prudence/internal/slabcore"
+	gsync "prudence/internal/sync"
 	"prudence/internal/vcpu"
 )
 
-// Env bundles the substrate a workload runs on.
+// Env bundles the substrate a workload runs on. Sync is the
+// reclamation backend — workloads only touch the scheme-agnostic
+// surface (idle transitions, quiescent states, synchronize), so any
+// registered backend slots in.
 type Env struct {
 	Machine *vcpu.Machine
-	RCU     *rcu.RCU
+	Sync    gsync.Backend
 	Pages   *pagealloc.Allocator
 }
 
@@ -68,18 +71,18 @@ func RunMicro(env Env, cache alloc.Cache, pairsPerCPU int) MicroResult {
 	start := time.Now()
 	env.Machine.RunOnAll(func(c *vcpu.CPU) {
 		cpu := c.ID()
-		env.RCU.ExitIdle(cpu)
-		defer env.RCU.EnterIdle(cpu)
+		env.Sync.ExitIdle(cpu)
+		defer env.Sync.EnterIdle(cpu)
 		for i := 0; i < pairsPerCPU; i++ {
 			ref, err := cache.Malloc(cpu)
 			for err != nil {
 				stalls.Add(1)
-				env.RCU.SynchronizeOn(cpu)
+				env.Sync.SynchronizeOn(cpu)
 				ref, err = cache.Malloc(cpu)
 			}
 			ref.Bytes()[0] = byte(i) // touch the object
 			cache.FreeDeferred(cpu, ref)
-			env.RCU.QuiescentState(cpu)
+			env.Sync.QuiescentState(cpu)
 		}
 	})
 	return MicroResult{
@@ -125,7 +128,7 @@ func RunEndurance(env Env, cache alloc.Cache, cfg EnduranceConfig) EnduranceResu
 	}
 	lists := make([]*rculist.List, env.Machine.NumCPU())
 	for i := range lists {
-		lists[i] = rculist.New(cache, env.RCU)
+		lists[i] = rculist.New(cache, env.Sync)
 	}
 	var oom atomic.Bool
 	var oomAt atomic.Int64 // nanoseconds since start
@@ -134,8 +137,8 @@ func RunEndurance(env Env, cache alloc.Cache, cfg EnduranceConfig) EnduranceResu
 
 	env.Machine.RunOnAll(func(c *vcpu.CPU) {
 		cpu := c.ID()
-		env.RCU.ExitIdle(cpu)
-		defer env.RCU.EnterIdle(cpu)
+		env.Sync.ExitIdle(cpu)
+		defer env.Sync.EnterIdle(cpu)
 		l := lists[cpu]
 		for k := 0; k < cfg.ListLen; k++ {
 			if err := l.Insert(cpu, uint64(k), []byte{byte(k)}); err != nil {
@@ -154,7 +157,7 @@ func RunEndurance(env Env, cache alloc.Cache, cfg EnduranceConfig) EnduranceResu
 				return
 			}
 			updates.Add(1)
-			env.RCU.QuiescentState(cpu)
+			env.Sync.QuiescentState(cpu)
 			if cfg.PacePerUpdate > 0 && i%64 == 63 {
 				time.Sleep(64 * cfg.PacePerUpdate)
 			}
@@ -347,8 +350,8 @@ func RunApp(env Env, a alloc.Allocator, p AppProfile, txnsPerCPU int) (AppResult
 	start := time.Now()
 	env.Machine.RunOnAll(func(c *vcpu.CPU) {
 		cpu := c.ID()
-		env.RCU.ExitIdle(cpu)
-		defer env.RCU.EnterIdle(cpu)
+		env.Sync.ExitIdle(cpu)
+		defer env.Sync.EnterIdle(cpu)
 		queues := make([][]held, len(p.Mixes))
 		freeCounter := make([]int, len(p.Mixes))
 		sink := uint64(0)
@@ -393,7 +396,7 @@ func RunApp(env Env, a alloc.Allocator, p AppProfile, txnsPerCPU int) (AppResult
 			for w := 0; w < p.ThinkWork; w++ {
 				sink = sink*0x9E3779B97F4A7C15 + uint64(w)
 			}
-			env.RCU.QuiescentState(cpu)
+			env.Sync.QuiescentState(cpu)
 		}
 		_ = sink
 		// Drain the hold queues (end of benchmark teardown).
@@ -454,8 +457,8 @@ func RunDoS(env Env, cache alloc.Cache, duration time.Duration) DoSResult {
 	start := time.Now()
 	env.Machine.RunOnAll(func(c *vcpu.CPU) {
 		cpu := c.ID()
-		env.RCU.ExitIdle(cpu)
-		defer env.RCU.EnterIdle(cpu)
+		env.Sync.ExitIdle(cpu)
+		defer env.Sync.EnterIdle(cpu)
 		for !oom.Load() && time.Since(start) < duration {
 			for i := 0; i < 64; i++ {
 				ref, err := cache.Malloc(cpu)
@@ -466,7 +469,7 @@ func RunDoS(env Env, cache alloc.Cache, duration time.Duration) DoSResult {
 				cache.FreeDeferred(cpu, ref)
 			}
 			cycles.Add(64)
-			env.RCU.QuiescentState(cpu)
+			env.Sync.QuiescentState(cpu)
 		}
 	})
 	res := DoSResult{

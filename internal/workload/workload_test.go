@@ -22,7 +22,7 @@ func prudenceBuild(s *alloctest.Stack) alloc.Allocator {
 }
 
 func env(s *alloctest.Stack) workload.Env {
-	return workload.Env{Machine: s.Machine, RCU: s.RCU, Pages: s.Pages}
+	return workload.Env{Machine: s.Machine, Sync: s.RCU, Pages: s.Pages}
 }
 
 func TestRunMicroCompletesAndCounts(t *testing.T) {

@@ -39,19 +39,26 @@ import (
 
 	"prudence/internal/alloc"
 	"prudence/internal/core"
-	"prudence/internal/ebr"
 	"prudence/internal/memarena"
 	"prudence/internal/metrics"
 	"prudence/internal/pagealloc"
-	"prudence/internal/rcu"
 	"prudence/internal/rcuhash"
 	"prudence/internal/rculist"
 	"prudence/internal/rcutree"
 	"prudence/internal/slabcore"
 	"prudence/internal/slub"
 	"prudence/internal/stats"
+	gsync "prudence/internal/sync"
 	"prudence/internal/trace"
 	"prudence/internal/vcpu"
+
+	// The built-in reclamation backends register themselves with the
+	// internal/sync scheme registry from their init functions; external
+	// code selects them by name through Config.Reclamation.
+	_ "prudence/internal/ebr"
+	_ "prudence/internal/hp"
+	_ "prudence/internal/nebr"
+	_ "prudence/internal/rcu"
 )
 
 // AllocatorKind selects which allocator a System uses.
@@ -61,7 +68,9 @@ type AllocatorKind string
 // mechanism detecting reader completion.
 type ReclamationKind string
 
-// Available reclamation schemes.
+// Available reclamation schemes. The constants name the built-in
+// backends; Config.Reclamation resolves any name registered with the
+// internal scheme registry, so the set is open-ended (see Reclamations).
 const (
 	// RCU detects reader completion through context-switch quiescent
 	// states (the paper's evaluated mechanism). Workload loops should
@@ -70,7 +79,19 @@ const (
 	// EBR detects reader completion through epochs pinned by read-side
 	// critical sections; no quiescent-state calls are needed.
 	EBR ReclamationKind = "ebr"
+	// HP protects individual pointers through per-CPU hazard slots and
+	// reclaims by scanning them; its garbage is bounded by
+	// threads x slots regardless of reader behaviour.
+	HP ReclamationKind = "hp"
+	// NEBR is DEBRA+-style neutralizing EBR: epochs as in EBR, plus a
+	// per-CPU interrupt that forcibly unpins readers stalled past a
+	// bound, so one stuck reader cannot block reclamation forever.
+	NEBR ReclamationKind = "nebr"
 )
+
+// Reclamations lists the registered reclamation scheme names, sorted;
+// each is a valid Config.Reclamation value.
+func Reclamations() []string { return gsync.Backends() }
 
 // Available allocators.
 const (
@@ -104,9 +125,9 @@ type Config struct {
 	// DisableOptimizations turns off all of Prudence's hint-based
 	// optimizations (for ablation; Prudence allocator only).
 	DisableOptimizations bool
-	// Reclamation selects the synchronization mechanism (default RCU).
-	// EBR is only available with the Prudence allocator: the baseline's
-	// deferred frees are RCU callbacks by definition.
+	// Reclamation selects the synchronization mechanism by registered
+	// scheme name (default RCU). Every registered scheme works with
+	// both allocators; see Reclamations for the available names.
 	Reclamation ReclamationKind
 	// TraceRingSize is the capacity of the system event ring attached to
 	// every cache (rounded up to a power of two). Zero uses the default
@@ -128,13 +149,9 @@ func (cfg Config) Validate() error {
 	default:
 		return fmt.Errorf("prudence: unknown allocator kind %q", cfg.Allocator)
 	}
-	switch cfg.Reclamation {
-	case "", RCU, EBR:
-	default:
-		return fmt.Errorf("prudence: unknown reclamation kind %q", cfg.Reclamation)
-	}
-	if cfg.Allocator == SLUB && cfg.Reclamation == EBR {
-		return fmt.Errorf("prudence: the SLUB baseline requires RCU (its deferred frees are RCU callbacks)")
+	if cfg.Reclamation != "" && !gsync.Registered(string(cfg.Reclamation)) {
+		return fmt.Errorf("prudence: unknown reclamation kind %q (registered: %v)",
+			cfg.Reclamation, gsync.Backends())
 	}
 	return nil
 }
@@ -149,24 +166,14 @@ var ErrOutOfMemory = pagealloc.ErrOutOfMemory
 // ErrOOM is a short alias for ErrOutOfMemory (kernel spelling).
 var ErrOOM = ErrOutOfMemory
 
-// readSync unifies the two engines' surfaces used by the facade. It is
-// a superset of rcuhash.Sync, so one field serves every RCU-protected
-// structure.
-type readSync interface {
-	rculist.ReadSync
-	Synchronize()
-	SynchronizeOn(cpu int)
-	GPsCompleted() uint64
-}
-
-// System is a simulated machine with one allocator.
+// System is a simulated machine with one allocator. The reclamation
+// engine behind sync is whichever registered backend Config.Reclamation
+// named; nothing else in the System is scheme-specific.
 type System struct {
 	arena   *memarena.Arena
 	pages   *pagealloc.Allocator
 	machine *vcpu.Machine
-	rcu     *rcu.RCU // nil when Reclamation is EBR
-	ebr     *ebr.EBR // nil when Reclamation is RCU
-	sync    readSync
+	sync    gsync.Backend
 	alloc   alloc.Allocator
 	reg     *metrics.Registry
 	ring    *trace.Ring // nil when tracing is disabled
@@ -203,26 +210,20 @@ func New(cfg Config) (*System, error) {
 		}
 		s.ring = trace.NewRing(size)
 	}
-	var gp core.GracePeriods
-	switch cfg.Reclamation {
-	case RCU:
-		s.rcu = rcu.New(s.machine, rcu.Options{
-			Blimit:        cfg.CallbackBatch,
-			ThrottleDelay: cfg.CallbackDelay,
-			MinGPInterval: cfg.GracePeriodInterval,
-		})
-		s.sync = s.rcu
-		gp = s.rcu
-	case EBR:
-		s.ebr = ebr.New(s.machine, ebr.Options{
-			AdvanceInterval: cfg.GracePeriodInterval / 2,
-		})
-		s.sync = s.ebr
-		gp = s.ebr
+	backend, err := gsync.New(string(cfg.Reclamation), s.machine, gsync.Options{
+		GPInterval:  cfg.GracePeriodInterval,
+		RetireBatch: cfg.CallbackBatch,
+		RetireDelay: cfg.CallbackDelay,
+	})
+	if err != nil {
+		s.zeroer.Stop()
+		s.machine.Stop()
+		return nil, err
 	}
+	s.sync = backend
 	switch cfg.Allocator {
 	case SLUB:
-		s.alloc = slub.New(s.pages, s.rcu, cfg.CPUs)
+		s.alloc = slub.New(s.pages, s.sync, cfg.CPUs)
 	case Prudence:
 		opts := core.Options{}
 		if cfg.DisableOptimizations {
@@ -233,15 +234,10 @@ func New(cfg Config) (*System, error) {
 				DisableSlabSelection: true,
 			}
 		}
-		s.alloc = core.New(s.pages, gp, s.machine, opts)
+		s.alloc = core.New(s.pages, s.sync, s.machine, opts)
 	}
 	s.pages.RegisterMetrics(s.reg)
-	if s.rcu != nil {
-		s.rcu.RegisterMetrics(s.reg)
-	}
-	if s.ebr != nil {
-		s.ebr.RegisterMetrics(s.reg)
-	}
+	s.sync.RegisterMetrics(s.reg)
 	s.alloc.RegisterMetrics(s.reg)
 	s.machine.RegisterMetrics(s.reg)
 	return s, nil
@@ -261,12 +257,7 @@ func MustNew(cfg Config) *System {
 // Close stops the System's background goroutines.
 func (s *System) Close() {
 	s.zeroer.Stop()
-	if s.rcu != nil {
-		s.rcu.Stop()
-	}
-	if s.ebr != nil {
-		s.ebr.Stop()
-	}
+	s.sync.Stop()
 	s.machine.Stop()
 }
 
@@ -288,10 +279,8 @@ func (s *System) TotalBytes() int64 { return s.arena.Bytes() }
 func (s *System) RunOnAllCPUs(fn func(cpu int)) {
 	s.machine.RunOnAll(func(c *vcpu.CPU) {
 		id := c.ID()
-		if s.rcu != nil {
-			s.rcu.ExitIdle(id)
-			defer s.rcu.EnterIdle(id)
-		}
+		s.sync.ExitIdle(id)
+		defer s.sync.EnterIdle(id)
 		fn(id)
 	})
 }
@@ -305,13 +294,9 @@ func (s *System) ReadLock(cpu int) { s.sync.ReadLock(cpu) }
 func (s *System) ReadUnlock(cpu int) { s.sync.ReadUnlock(cpu) }
 
 // QuiescentState reports a context-switch-equivalent point on cpu;
-// RCU-backed loops should call it between operations. Under EBR it is a
-// no-op (epochs need no quiescent states).
-func (s *System) QuiescentState(cpu int) {
-	if s.rcu != nil {
-		s.rcu.QuiescentState(cpu)
-	}
-}
+// RCU-backed loops should call it between operations. Epoch- and
+// hazard-based schemes treat it as a no-op.
+func (s *System) QuiescentState(cpu int) { s.sync.QuiescentState(cpu) }
 
 // Synchronize blocks until a full RCU grace period has elapsed.
 func (s *System) Synchronize() { s.sync.Synchronize() }

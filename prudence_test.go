@@ -3,6 +3,7 @@ package prudence_test
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync/atomic"
 	"testing"
 
@@ -403,13 +404,117 @@ func TestEBRBackedSystem(t *testing.T) {
 	}
 }
 
-func TestSLUBOverEBRRejected(t *testing.T) {
-	_, err := prudence.New(prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR})
-	if err == nil {
-		t.Fatal("SLUB over EBR accepted")
+// The registry lists the four built-in schemes, and each is a valid
+// Config.Reclamation for BOTH allocators: the historical SLUB-requires-
+// RCU restriction fell away when SLUB's deferred frees moved from raw
+// RCU callbacks to the scheme-agnostic Retire surface.
+func TestReclamationRegistry(t *testing.T) {
+	regd := prudence.Reclamations()
+	for _, want := range []string{"rcu", "ebr", "hp", "nebr"} {
+		found := false
+		for _, name := range regd {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scheme %q not registered (have %v)", want, regd)
+		}
 	}
-	if err := (prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR}).Validate(); err == nil {
-		t.Fatal("Validate accepted SLUB over EBR")
+	if err := (prudence.Config{Allocator: prudence.SLUB, Reclamation: prudence.EBR}).Validate(); err != nil {
+		t.Fatalf("Validate rejected SLUB over EBR: %v", err)
+	}
+}
+
+// Every registered scheme drives every allocator through the facade's
+// full surface: caches, deferred frees under a pinned reader, the
+// RCU-protected structures, and a clean drain to zero bytes.
+// PRUDENCE_SCHEME narrows the sweep to one scheme (the CI matrix runs
+// one job per scheme).
+func TestWorkoutAllBackends(t *testing.T) {
+	schemes := prudence.Reclamations()
+	if only := os.Getenv("PRUDENCE_SCHEME"); only != "" {
+		schemes = []string{only}
+	}
+	for _, scheme := range schemes {
+		for _, kind := range []prudence.AllocatorKind{prudence.Prudence, prudence.SLUB} {
+			t.Run(scheme+"/"+string(kind), func(t *testing.T) {
+				sys := newSystem(t, prudence.Config{
+					Allocator:   kind,
+					CPUs:        4,
+					MemoryPages: 2048,
+					Reclamation: prudence.ReclamationKind(scheme),
+				})
+				c := sys.NewCache("workout", 128)
+
+				// Deferred free racing a pinned reader on another CPU.
+				obj, err := c.Malloc(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				copy(obj.Bytes(), "pinned-data")
+				data := obj.Bytes()
+				done := make(chan struct{})
+				sys.RunOnAllCPUs(func(cpu int) {
+					switch cpu {
+					case 1:
+						sys.ReadLock(1)
+						<-done
+						if string(data[:11]) != "pinned-data" {
+							t.Errorf("%s reader observed reclaimed memory", scheme)
+						}
+						sys.ReadUnlock(1)
+					case 0:
+						c.FreeDeferred(0, obj)
+						for i := 0; i < 50; i++ {
+							o, err := c.Malloc(0)
+							if err != nil {
+								t.Error(err)
+								break
+							}
+							copy(o.Bytes(), "XXXXXXXXXXXXXXX")
+							c.Free(0, o)
+							sys.QuiescentState(0)
+						}
+						close(done)
+					}
+				})
+				sys.Synchronize()
+				if sys.GracePeriods() == 0 {
+					t.Fatalf("no grace periods under %s", scheme)
+				}
+
+				// The RCU-protected structures over this backend.
+				l := sys.NewList(c)
+				if err := l.Insert(0, 1, []byte("a")); err != nil {
+					t.Fatal(err)
+				}
+				m := sys.NewMap(c, 8)
+				if err := m.Put(0, 2, []byte("b")); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Resize(0, 16); err != nil {
+					t.Fatal(err)
+				}
+				tr := sys.NewTree(c)
+				if err := tr.Put(0, 3, []byte("c")); err != nil {
+					t.Fatal(err)
+				}
+				if ok, _ := l.Delete(0, 1); !ok {
+					t.Fatal("list delete")
+				}
+				if ok, _ := m.Delete(0, 2); !ok {
+					t.Fatal("map delete")
+				}
+				if ok, _ := tr.Delete(0, 3); !ok {
+					t.Fatal("tree delete")
+				}
+				c.Drain()
+				if sys.UsedBytes() != 0 {
+					t.Fatalf("%d bytes retained under %s/%s", sys.UsedBytes(), scheme, kind)
+				}
+			})
+		}
 	}
 }
 
