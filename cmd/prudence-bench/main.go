@@ -42,6 +42,8 @@ func main() {
 		metrics = flag.Bool("metrics", false, "dump each stack's Prometheus metrics on teardown")
 		schemes = flag.String("schemes", "", "comma-separated reclamation schemes for the matrix (empty = all registered)")
 
+		failOnOOM = flag.Bool("fail-on-oom", false, "exit 1 if any matrix cell reports an out-of-memory (CI guard for the endurance OOM class)")
+
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON records) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
@@ -152,6 +154,13 @@ func main() {
 			}
 			fmt.Println(res.Table())
 			records = append(records, res.Records()...)
+			if *failOnOOM {
+				for _, c := range res.Cells {
+					if c.OOM {
+						return fmt.Errorf("cell scheme=%s alloc=%s workload=%s reported oom=1", c.Scheme, c.Kind, c.Workload)
+					}
+				}
+			}
 			return nil
 		})
 	}

@@ -125,10 +125,12 @@ func NewStack(kind Kind, cfg Config) *Stack {
 		s.Sync = s.RCU
 	} else {
 		backend, err := gsync.New(cfg.Scheme, s.Machine, gsync.Options{
-			GPInterval:   cfg.RCU.MinGPInterval,
-			PollInterval: cfg.RCU.QSPollInterval,
-			RetireBatch:  cfg.RCU.Blimit,
-			RetireDelay:  cfg.RCU.ThrottleDelay,
+			GPInterval:      cfg.RCU.MinGPInterval,
+			PollInterval:    cfg.RCU.QSPollInterval,
+			RetireBatch:     cfg.RCU.Blimit,
+			RetireDelay:     cfg.RCU.ThrottleDelay,
+			ExpeditedBlimit: cfg.RCU.ExpeditedBlimit,
+			Qhimark:         cfg.RCU.Qhimark,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: %v", err))

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"prudence/internal/slabcore"
+	"prudence/internal/workload"
+)
+
+// The nebr×slub endurance cell OOMed through PR 6: every deferred free
+// rode the shared retire queue at the throttled batch rate (10 per 20µs
+// ≈ 500k/s), the fastest updaters outran the drain, and the limbo bags
+// ate the arena. The qhimark escalation (backlog-proportional drain
+// batches + expedited grace-period demand, PR 7) is the fix. This pins
+// the exact scaled-down scenario that reproduced the OOM on the pre-fix
+// tree — seed configuration and page budget fixed — and requires it to
+// stay OOM-free.
+func TestEnduranceNebrSlubNoOOM(t *testing.T) {
+	cfg := DefaultConfig() // pinned knobs: Blimit 10, ThrottleDelay 20µs
+	cfg.CPUs = 8
+	cfg.ArenaPages = 4096 // pinned page budget: pre-fix peak hits all 4096
+	cfg.Scheme = "nebr"
+	cfg.PressureWatermark = cfg.ArenaPages / 2
+	s := NewStack(KindSLUB, cfg)
+	defer s.Close()
+	cache := s.Alloc.NewCache(slabcore.DefaultConfig("endurance-512", 512, cfg.CPUs))
+	r := workload.RunEndurance(s.Env(), cache, workload.EnduranceConfig{
+		ListLen: 32,
+		Updates: 8000,
+	})
+	cache.Drain()
+	if r.OOM {
+		t.Fatalf("nebr×slub endurance OOMed again (updates=%d peak=%d/%d pages, gps=%d): retire-drain escalation regressed",
+			r.Updates, r.PeakPages, cfg.ArenaPages, s.Sync.GPsCompleted())
+	}
+	// The fix works by keeping the limbo backlog bounded; a peak at the
+	// arena ceiling means we only escaped OOM by luck.
+	if r.PeakPages >= cfg.ArenaPages {
+		t.Fatalf("endurance run consumed the whole arena (peak=%d pages)", r.PeakPages)
+	}
+}

@@ -336,7 +336,13 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			}
 			return r, nil
 		}
-		// Lines 8-11: merge safe latent objects and retry.
+		// Lines 8-11: merge safe latent objects and retry. A latent
+		// backlog in which nothing has elapsed means the allocator is
+		// starved waiting on grace-period progress: raise expedited
+		// demand so the engine advances now instead of at timer cadence.
+		if len(cl.latent) > 0 && !c.elapsedLocal(cl, cl.latent[0].cookie) {
+			c.alloc.rcu.ExpediteGP()
+		}
 		if n := c.mergeCaches(cl); n > 0 {
 			c.base.Trace(trace.KindMerge, cpu, int64(n), 0)
 			if r := cl.objs.TryGet(); !r.IsZero() {
@@ -400,6 +406,9 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		// always arrives, but a stalled or wedged engine must degrade
 		// to an out-of-memory report, not a hang.
 		wait := c.alloc.opts.OOMDelayWait << min(oomTimeouts, 4)
+		// The OOM-delay wait is the most starved caller there is: the
+		// allocation cannot proceed until a grace period frees memory.
+		c.alloc.rcu.ExpediteGP()
 		//prudence:fault_point
 		elapsed := !fault.Fire(fault.OOMDelayExpire) &&
 			c.alloc.rcu.WaitElapsedOnTimeout(cpu, c.alloc.rcu.Snapshot(), wait)
@@ -743,6 +752,9 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	c.latentTotal.Add(1)
 	cl.objs.Unlock()
 
+	// Spilling means the deferred-free rate has outrun grace-period
+	// progress (merge could not free latent space): expedite.
+	c.alloc.rcu.ExpediteGP()
 	c.spillLatentBatch(spill)
 }
 

@@ -18,6 +18,7 @@ package ebr
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,12 @@ type Options struct {
 	// bursts (default 0).
 	RetireBatch int
 	RetireDelay time.Duration
+	// RetireExpeditedBatch and RetireQhimark are the limbo drainer's
+	// pressure-scaling knobs (see sync.QueueOptions): the burst bound
+	// under pressure/backlog, and the backlog past which batch limits
+	// come off and the drainer raises expedited epoch demand.
+	RetireExpeditedBatch int
+	RetireQhimark        int
 }
 
 func init() {
@@ -49,10 +56,12 @@ func init() {
 		return New(m, Options{
 			// Two epoch advances make one grace period, so the generic
 			// grace-period interval halves into the advance interval.
-			AdvanceInterval: o.GPInterval / 2,
-			PollInterval:    o.PollInterval,
-			RetireBatch:     o.RetireBatch,
-			RetireDelay:     o.RetireDelay,
+			AdvanceInterval:      o.GPInterval / 2,
+			PollInterval:         o.PollInterval,
+			RetireBatch:          o.RetireBatch,
+			RetireDelay:          o.RetireDelay,
+			RetireExpeditedBatch: o.ExpeditedBlimit,
+			RetireQhimark:        o.Qhimark,
 		})
 	})
 }
@@ -72,6 +81,10 @@ type cpuState struct {
 	// holds 1 + the global epoch observed at entry.
 	pinned  atomic.Uint64
 	nesting int32 // owner-goroutine only
+	// qsCalls counts QuiescentState invocations for the periodic
+	// scheduler yield (owner-goroutine only; atomic for the race
+	// detector's benefit).
+	qsCalls atomic.Uint32
 }
 
 // EBR is the epoch engine. Read-side sections are delimited with
@@ -83,10 +96,17 @@ type EBR struct {
 	opts    Options
 	percpu  []*cpuState
 
-	epoch  atomic.Uint64 // global epoch counter
-	needGP atomic.Bool
-	gpHist stats.Histogram // latency of each two-advance grace period
-	queue  *gsync.RetireQueue
+	epoch atomic.Uint64 // global epoch counter
+	// needGP is plain demand; expedite additionally asks the advancer
+	// to skip the inter-advance pacing gap. Both are cleared when the
+	// grace period (advance pair) they hastened completes.
+	needGP   atomic.Bool
+	expedite atomic.Bool
+	// expeditedAdvances counts epoch advances taken on the expedited
+	// path (pacing gap skipped).
+	expeditedAdvances atomic.Uint64
+	gpHist            stats.Histogram // latency of each two-advance grace period
+	queue             *gsync.RetireQueue
 
 	gpMu   sync.Mutex
 	gpCond *sync.Cond
@@ -112,8 +132,13 @@ func New(machine *vcpu.Machine, opts Options) *EBR {
 	}
 	e.wg.Add(1)
 	go e.advancer()
-	e.queue = gsync.NewRetireQueue(e, machine.NumCPU(),
-		e.opts.RetireBatch, e.opts.RetireDelay, e.opts.PollInterval)
+	e.queue = gsync.NewRetireQueue(e, machine.NumCPU(), gsync.QueueOptions{
+		Batch:          e.opts.RetireBatch,
+		ExpeditedBatch: e.opts.RetireExpeditedBatch,
+		Qhimark:        e.opts.RetireQhimark,
+		Delay:          e.opts.RetireDelay,
+		Poll:           e.opts.PollInterval,
+	})
 	return e
 }
 
@@ -206,9 +231,31 @@ func (e *EBR) NeedGP() {
 	}
 }
 
+// ExpediteGP raises expedited demand: the advancer skips the
+// inter-advance pacing gap for the next grace period (advance pair)
+// instead of holding AdvanceInterval between advances. The demand
+// survives a lost kick exactly as NeedGP's does — the advancer reads
+// the flag on its timer fallback.
+func (e *EBR) ExpediteGP() {
+	e.needGP.Store(true)
+	e.expedite.Store(true)
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
 // GPsCompleted returns completed grace periods (epoch advances halved,
 // so once-per-GP gates fire at the paper's granularity).
 func (e *EBR) GPsCompleted() uint64 { return e.epoch.Load() / 2 }
+
+// ExpeditedAdvances returns how many epoch advances skipped the pacing
+// gap on expedited demand.
+func (e *EBR) ExpeditedAdvances() uint64 { return e.expeditedAdvances.Load() }
 
 // WaitElapsedOn blocks until cookie c elapses. EBR readers cannot block
 // (the caller is outside any critical section by contract), so the
@@ -236,7 +283,7 @@ func (e *EBR) WaitElapsedOnTimeout(cpu int, c gsync.Cookie, d time.Duration) boo
 		if time.Now().After(deadline) {
 			return e.Elapsed(c)
 		}
-		e.NeedGP()
+		e.ExpediteGP()
 		select {
 		case <-e.stop:
 			return e.Elapsed(c)
@@ -255,7 +302,7 @@ func (e *EBR) waitElapsed(c gsync.Cookie) bool {
 	if e.Elapsed(c) {
 		return true
 	}
-	e.NeedGP()
+	e.ExpediteGP()
 	e.gpMu.Lock()
 	defer e.gpMu.Unlock()
 	for !e.Elapsed(c) {
@@ -267,10 +314,12 @@ func (e *EBR) waitElapsed(c gsync.Cookie) bool {
 		// Re-raise demand on every pass: the advancer clears it after
 		// each full grace period (every second advance), and a cookie
 		// snapshotted at an odd epoch outlives the pair that cleared
-		// it — waiting without re-arming would sleep forever. The
-		// broadcast that wakes us is sent under gpMu, so no advance
-		// can slip between this NeedGP and the Wait below.
-		e.NeedGP()
+		// it — waiting without re-arming would sleep forever. A
+		// blocked waiter is latency-sensitive, so the demand is
+		// expedited. The broadcast that wakes us is sent under gpMu,
+		// so no advance can slip between this ExpediteGP and the Wait
+		// below.
+		e.ExpediteGP()
 		e.gpCond.Wait()
 	}
 	return true
@@ -278,7 +327,10 @@ func (e *EBR) waitElapsed(c gsync.Cookie) bool {
 
 // advancer is the epoch-advance goroutine: when there is demand, it
 // advances the global epoch as soon as no CPU remains pinned at an
-// older epoch.
+// older epoch. Plain demand is paced by AdvanceInterval; expedited
+// demand (ExpediteGP) short-circuits the pacing sleep — a kick arriving
+// mid-sleep re-checks the flag, so escalation takes effect immediately
+// rather than after the timer runs out.
 func (e *EBR) advancer() {
 	defer e.wg.Done()
 	timer := time.NewTimer(e.opts.AdvanceInterval)
@@ -296,12 +348,26 @@ func (e *EBR) advancer() {
 			}
 			continue
 		}
-		if gap := time.Since(last); gap < e.opts.AdvanceInterval {
+		expedited := false
+		for {
+			if e.expedite.Load() {
+				expedited = true
+				break
+			}
+			gap := time.Since(last)
+			if gap >= e.opts.AdvanceInterval {
+				break
+			}
 			select {
 			case <-e.stop:
 				return
+			case <-e.kick:
+				// Re-check: the kick may carry expedited demand.
 			case <-time.After(e.opts.AdvanceInterval - gap):
 			}
+		}
+		if expedited {
+			e.expeditedAdvances.Add(1)
 		}
 		cur := e.epoch.Load()
 		// Wait until no CPU is pinned at an epoch older than cur.
@@ -335,10 +401,12 @@ func (e *EBR) advancer() {
 		e.epoch.Store(cur + 1)
 		last = time.Now()
 		// Demand is cleared only every second advance (a full grace
-		// period); odd advances immediately continue.
+		// period); odd advances immediately continue. Expedited demand
+		// is consumed with it: the grace period it hastened is done.
 		if (cur+1)%2 == 0 {
 			e.gpHist.Observe(last.Sub(pairStart))
 			e.needGP.Store(false)
+			e.expedite.Store(false)
 		} else {
 			pairStart = last
 		}
@@ -356,6 +424,9 @@ func (e *EBR) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(e.GPsCompleted()) })
 	reg.RegisterHistogram("prudence_gp_duration_seconds",
 		"Latency of one grace period (two epoch advances).", &e.gpHist)
+	reg.CounterFunc("prudence_sync_expedited_advances_total", "Epoch advances taken on the expedited path (pacing gap skipped on demand).",
+		func() float64 { return float64(e.expeditedAdvances.Load()) })
+	e.queue.RegisterMetrics(reg)
 	reg.GaugeFunc("prudence_ebr_epoch", "Current global epoch.",
 		func() float64 { return float64(e.Epoch()) })
 	reg.GaugeFunc("prudence_ebr_pinned_cpus", "CPUs currently pinning an epoch (inside a critical section).",
@@ -386,9 +457,18 @@ func (e *EBR) SynchronizeOn(cpu int) {
 	e.Synchronize()
 }
 
-// QuiescentState is a no-op: epochs detect reader completion through
-// pinning, not context-switch quiescent states.
-func (e *EBR) QuiescentState(cpu int) {}
+// QuiescentState contributes nothing to epoch detection (reader
+// completion is observed through pinning), but — exactly as in
+// rcu.QuiescentState — it periodically donates the core so the advancer
+// and limbo drainer stay scheduled when the host has fewer cores than
+// the machine has virtual CPUs (e.g. GOMAXPROCS=1): without the yield,
+// tight workload loops starve the advancer and grace periods arrive at
+// the preemption quantum instead of the demand rate.
+func (e *EBR) QuiescentState(cpu int) {
+	if e.cpu(cpu).qsCalls.Add(1)%32 == 0 {
+		runtime.Gosched()
+	}
+}
 
 // EnterIdle is a no-op: an idle CPU is simply one that is not pinned.
 func (e *EBR) EnterIdle(cpu int) {}

@@ -32,6 +32,7 @@ package hp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,10 @@ type Options struct {
 	// scan on the retiring CPU (default 2 × CPUs × (Slots+1), the
 	// classic R = H·K + Ω amortization; minimum 64).
 	ScanThreshold int
+	// RetireQhimark is the total retire backlog above which each new
+	// retirement raises expedited era demand instead of plain demand
+	// (default 64 × ScanThreshold; negative disables).
+	RetireQhimark int
 }
 
 func (o Options) withDefaults(cpus int) Options {
@@ -75,6 +80,9 @@ func (o Options) withDefaults(cpus int) Options {
 			o.ScanThreshold = 64
 		}
 	}
+	if o.RetireQhimark == 0 {
+		o.RetireQhimark = 64 * o.ScanThreshold
+	}
 	return o
 }
 
@@ -83,6 +91,7 @@ func init() {
 		return New(m, Options{
 			AdvanceInterval: o.GPInterval,
 			PollInterval:    o.PollInterval,
+			RetireQhimark:   o.Qhimark,
 		})
 	})
 }
@@ -117,6 +126,9 @@ type cpuState struct {
 	// seq/done support Barrier: entries ever enqueued / ever invoked.
 	seq  atomic.Uint64
 	done atomic.Uint64
+	// qsCalls counts QuiescentState calls so the hot path can donate
+	// its timeslice periodically (see QuiescentState).
+	qsCalls atomic.Uint32
 }
 
 // HP is the hazard-pointer backend.
@@ -129,7 +141,12 @@ type HP struct {
 	// sentinel.
 	eraCounter atomic.Uint64
 	needGP     atomic.Bool
-	pressured  atomic.Bool
+	// expedite records expedited demand (ExpediteGP): the driver skips
+	// its pacing gap while set. Cleared when the advance it hastened
+	// publishes.
+	expedite          atomic.Bool
+	expeditedAdvances atomic.Uint64
+	pressured         atomic.Bool
 
 	pending    atomic.Int64
 	maxBacklog atomic.Int64
@@ -233,9 +250,17 @@ func (h *HP) Release(cpu, slot int) {
 // Slots returns the number of per-pointer hazard slots per CPU.
 func (h *HP) Slots() int { return h.opts.Slots }
 
-// QuiescentState is a no-op: protection is explicit publication, not
-// quiescence.
-func (h *HP) QuiescentState(cpu int) {}
+// QuiescentState does not affect protection (hazards are explicit
+// publication), but it periodically donates the caller's timeslice so
+// the driver goroutine gets scheduled even when every runnable vCPU
+// spins through allocate/free at GOMAXPROCS=1 — the same scheduling
+// donation internal/rcu makes, without which era advances happen only
+// at preemption quanta and grace periods starve.
+func (h *HP) QuiescentState(cpu int) {
+	if h.cpu(cpu).qsCalls.Add(1)%32 == 0 {
+		runtime.Gosched()
+	}
+}
 
 // EnterIdle is a no-op: an idle CPU publishes no hazards.
 func (h *HP) EnterIdle(cpu int) {}
@@ -286,8 +311,31 @@ func (h *HP) NeedGP() {
 	}
 }
 
+// ExpediteGP raises expedited demand: the driver advances the era and
+// scans without waiting out the pacing gap (safety lives entirely in
+// the per-entry protection checks, so there is no protocol reason to
+// pace). One-shot: consumed when the advance it hastened publishes.
+func (h *HP) ExpediteGP() {
+	h.expedite.Store(true)
+	h.needGP.Store(true)
+	// Chaos: as in NeedGP, the recorded demand, not the kick, carries
+	// the liveness guarantee.
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
+	select {
+	case h.kick <- struct{}{}:
+	default:
+	}
+}
+
 // GPsCompleted counts completed grace periods: era advances.
 func (h *HP) GPsCompleted() uint64 { return h.eraCounter.Load() - 1 }
+
+// ExpeditedAdvances returns how many era advances skipped the pacing
+// gap on expedited demand.
+func (h *HP) ExpeditedAdvances() uint64 { return h.expeditedAdvances.Load() }
 
 // WaitElapsedOn blocks until cookie c elapses. The caller is outside
 // any critical section by contract, so its era hazard is already clear.
@@ -310,7 +358,8 @@ func (h *HP) WaitElapsedOnTimeout(cpu int, c gsync.Cookie, d time.Duration) bool
 		if time.Now().After(deadline) {
 			return h.Elapsed(c)
 		}
-		h.NeedGP()
+		// A deadline-bound waiter is starved by definition: expedite.
+		h.ExpediteGP()
 		select {
 		case <-h.stop:
 			return h.Elapsed(c)
@@ -335,10 +384,11 @@ func (h *HP) SynchronizeOn(cpu int) {
 // waitElapsed polls rather than blocking on a condition variable:
 // Elapsed can turn true on a reader's ReadUnlock, an event no driver
 // broadcast accompanies. Demand is re-raised on every pass because the
-// driver clears it at each advance.
+// driver clears it at each advance; a blocked synchronous waiter is
+// latency-sensitive, so the demand is expedited.
 func (h *HP) waitElapsed(c gsync.Cookie) bool {
 	for !h.Elapsed(c) {
-		h.NeedGP()
+		h.ExpediteGP()
 		select {
 		case <-h.stop:
 			return h.Elapsed(c)
@@ -377,10 +427,18 @@ func (h *HP) RetireToken(cpu int, token uint64, fn func()) {
 	}
 	cs.mu.Unlock()
 	cs.seq.Add(1)
-	if n := h.pending.Add(1); n > h.maxBacklog.Load() {
+	n := h.pending.Add(1)
+	if n > h.maxBacklog.Load() {
 		h.maxBacklog.Store(n)
 	}
-	h.NeedGP()
+	// A backlog past the qhimark means the scans are losing the race
+	// against the updaters — escalate so the driver advances and scans
+	// at full speed.
+	if h.opts.RetireQhimark > 0 && n > int64(h.opts.RetireQhimark) {
+		h.ExpediteGP()
+	} else {
+		h.NeedGP()
+	}
 	if scanNow {
 		h.scan(cpu)
 	}
@@ -406,7 +464,8 @@ func (h *HP) Barrier() {
 		if reached {
 			return
 		}
-		h.NeedGP()
+		// A blocked barrier is latency-sensitive by definition.
+		h.ExpediteGP()
 		select {
 		case <-h.stop:
 			return
@@ -421,7 +480,7 @@ func (h *HP) Barrier() {
 func (h *HP) SetPressure(under bool) {
 	h.pressured.Store(under)
 	if under {
-		h.NeedGP()
+		h.ExpediteGP()
 	}
 }
 
@@ -524,12 +583,29 @@ func (h *HP) driver() {
 			demandFresh = true
 			demandStart = time.Now()
 		}
-		if gap := time.Since(last); gap < h.opts.AdvanceInterval {
+		// Pace the advance — unless expedited demand is pending, in
+		// which case the gap is skipped (the per-entry protection checks
+		// carry safety, never this pacing).
+		expedited := false
+		for {
+			if h.expedite.Load() {
+				expedited = true
+				break
+			}
+			gap := time.Since(last)
+			if gap >= h.opts.AdvanceInterval {
+				break
+			}
 			select {
 			case <-h.stop:
 				return
+			case <-h.kick:
+				// Re-check: the kick may carry expedited demand.
 			case <-time.After(h.opts.AdvanceInterval - gap):
 			}
+		}
+		if expedited {
+			h.expeditedAdvances.Add(1)
 		}
 		// Chaos: stall era publication, as the gp_stall point does in
 		// the other engines.
@@ -546,6 +622,7 @@ func (h *HP) driver() {
 		h.gpHist.Observe(last.Sub(demandStart))
 		demandFresh = false
 		h.needGP.Store(false)
+		h.expedite.Store(false)
 		h.scanAll()
 	}
 }
@@ -566,6 +643,12 @@ func (h *HP) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(h.scans.Load()) })
 	reg.CounterFunc("prudence_hp_reclaimed_total", "Retired objects reclaimed by scans.",
 		func() float64 { return float64(h.reclaimed.Load()) })
+	reg.CounterFunc("prudence_sync_expedited_advances_total", "Era advances taken on the expedited path (pacing gap skipped on demand).",
+		func() float64 { return float64(h.expeditedAdvances.Load()) })
+	reg.GaugeFunc("prudence_sync_retire_backlog", "Retired objects enqueued but not yet reclaimed.",
+		func() float64 { return float64(h.pending.Load()) })
+	reg.GaugeFunc("prudence_sync_retire_backlog_peak", "High-water mark of the retire backlog.",
+		func() float64 { return float64(h.maxBacklog.Load()) })
 	reg.GaugeFunc("prudence_hp_protected_slots", "Hazard slots currently publishing a token.",
 		func() float64 {
 			n := 0

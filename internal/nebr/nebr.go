@@ -33,6 +33,7 @@ package nebr
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,11 @@ type Options struct {
 	// bursts (default 0).
 	RetireBatch int
 	RetireDelay time.Duration
+	// RetireExpeditedBatch and RetireQhimark tune the shared retire
+	// queue's pressure scaling (see sync.QueueOptions; zero = defaults
+	// derived from RetireBatch, RetireQhimark < 0 disables escalation).
+	RetireExpeditedBatch int
+	RetireQhimark        int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,10 +86,12 @@ func (o Options) withDefaults() Options {
 func init() {
 	gsync.Register("nebr", func(m *vcpu.Machine, o gsync.Options) gsync.Backend {
 		return New(m, Options{
-			AdvanceInterval: o.GPInterval / 2,
-			PollInterval:    o.PollInterval,
-			RetireBatch:     o.RetireBatch,
-			RetireDelay:     o.RetireDelay,
+			AdvanceInterval:      o.GPInterval / 2,
+			PollInterval:         o.PollInterval,
+			RetireBatch:          o.RetireBatch,
+			RetireDelay:          o.RetireDelay,
+			RetireExpeditedBatch: o.ExpeditedBlimit,
+			RetireQhimark:        o.Qhimark,
 		})
 	})
 }
@@ -98,6 +106,9 @@ type cpuState struct {
 	// was forcibly cleared; the owner consumes it at the outermost Exit
 	// or through Neutralized.
 	neutralized atomic.Bool
+	// qsCalls counts QuiescentState calls so the hot path can donate
+	// its timeslice periodically (see QuiescentState).
+	qsCalls atomic.Uint32
 }
 
 // NEBR is the neutralizing epoch engine.
@@ -108,8 +119,12 @@ type NEBR struct {
 
 	epoch  atomic.Uint64 // global epoch counter
 	needGP atomic.Bool
-	gpHist stats.Histogram // latency of each two-advance grace period
-	queue  *gsync.RetireQueue
+	// expedite records expedited demand (ExpediteGP): the advancer skips
+	// its pacing gap while set. Cleared with needGP on even advances.
+	expedite          atomic.Bool
+	expeditedAdvances atomic.Uint64
+	gpHist            stats.Histogram // latency of each two-advance grace period
+	queue             *gsync.RetireQueue
 
 	neutralizations atomic.Uint64 // interrupts that cleared a pin
 	signalsLost     atomic.Uint64 // neutralize signals the fault layer dropped
@@ -146,8 +161,13 @@ func New(machine *vcpu.Machine, opts Options) *NEBR {
 	}
 	e.wg.Add(1)
 	go e.advancer()
-	e.queue = gsync.NewRetireQueue(e, machine.NumCPU(),
-		e.opts.RetireBatch, e.opts.RetireDelay, e.opts.PollInterval)
+	e.queue = gsync.NewRetireQueue(e, machine.NumCPU(), gsync.QueueOptions{
+		Batch:          e.opts.RetireBatch,
+		ExpeditedBatch: e.opts.RetireExpeditedBatch,
+		Qhimark:        e.opts.RetireQhimark,
+		Delay:          e.opts.RetireDelay,
+		Poll:           e.opts.PollInterval,
+	})
 	return e
 }
 
@@ -299,8 +319,32 @@ func (e *NEBR) NeedGP() {
 	}
 }
 
+// ExpediteGP raises expedited demand: the next grace period is driven
+// with the pacing gap between advances skipped (stragglers are still
+// waited out or neutralized — expediting never weakens the safety
+// protocol). One-shot: consumed when the advance pair it hastened
+// completes.
+func (e *NEBR) ExpediteGP() {
+	e.expedite.Store(true)
+	e.needGP.Store(true)
+	// Chaos: as in NeedGP, the recorded demand, not the kick, carries
+	// the liveness guarantee.
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
 // GPsCompleted returns completed grace periods (epoch advances halved).
 func (e *NEBR) GPsCompleted() uint64 { return e.epoch.Load() / 2 }
+
+// ExpeditedAdvances returns how many epoch advances skipped the pacing
+// gap on expedited demand.
+func (e *NEBR) ExpeditedAdvances() uint64 { return e.expeditedAdvances.Load() }
 
 // WaitElapsedOn blocks until cookie c elapses.
 func (e *NEBR) WaitElapsedOn(cpu int, c gsync.Cookie) bool {
@@ -323,7 +367,8 @@ func (e *NEBR) WaitElapsedOnTimeout(cpu int, c gsync.Cookie, d time.Duration) bo
 		if time.Now().After(deadline) {
 			return e.Elapsed(c)
 		}
-		e.NeedGP()
+		// A deadline-bound waiter is starved by definition: expedite.
+		e.ExpediteGP()
 		select {
 		case <-e.stop:
 			return e.Elapsed(c)
@@ -349,7 +394,7 @@ func (e *NEBR) waitElapsed(c gsync.Cookie) bool {
 	if e.Elapsed(c) {
 		return true
 	}
-	e.NeedGP()
+	e.ExpediteGP()
 	e.gpMu.Lock()
 	defer e.gpMu.Unlock()
 	for !e.Elapsed(c) {
@@ -360,8 +405,10 @@ func (e *NEBR) waitElapsed(c gsync.Cookie) bool {
 		}
 		// Re-raise demand on every pass (see internal/ebr: demand is
 		// cleared every second advance and a cookie snapshotted at an
-		// odd epoch outlives the pair that cleared it).
-		e.NeedGP()
+		// odd epoch outlives the pair that cleared it). A blocked
+		// synchronous waiter is latency-sensitive, so the demand is
+		// expedited.
+		e.ExpediteGP()
 		e.gpCond.Wait()
 	}
 	return true
@@ -404,12 +451,29 @@ func (e *NEBR) advancer() {
 			}
 			continue
 		}
-		if gap := time.Since(last); gap < e.opts.AdvanceInterval {
+		// Pace the advance — unless expedited demand is pending, in
+		// which case the gap is skipped (safety rests on the straggler
+		// wait below, never on this pacing).
+		expedited := false
+		for {
+			if e.expedite.Load() {
+				expedited = true
+				break
+			}
+			gap := time.Since(last)
+			if gap >= e.opts.AdvanceInterval {
+				break
+			}
 			select {
 			case <-e.stop:
 				return
+			case <-e.kick:
+				// Re-check: the kick may carry expedited demand.
 			case <-time.After(e.opts.AdvanceInterval - gap):
 			}
+		}
+		if expedited {
+			e.expeditedAdvances.Add(1)
 		}
 		cur := e.epoch.Load()
 		// Wait until no CPU is pinned at an epoch older than cur,
@@ -462,6 +526,7 @@ func (e *NEBR) advancer() {
 		if (cur+1)%2 == 0 {
 			e.gpHist.Observe(last.Sub(pairStart))
 			e.needGP.Store(false)
+			e.expedite.Store(false)
 		} else {
 			pairStart = last
 		}
@@ -471,9 +536,17 @@ func (e *NEBR) advancer() {
 	}
 }
 
-// QuiescentState is a no-op: epochs detect reader completion through
-// pinning.
-func (e *NEBR) QuiescentState(cpu int) {}
+// QuiescentState does not affect epoch tracking (pinning detects reader
+// completion), but it periodically donates the caller's timeslice so
+// the advancer and drainer goroutines get scheduled even when every
+// runnable vCPU spins through allocate/free at GOMAXPROCS=1 — the same
+// scheduling donation internal/rcu makes, without which epoch advances
+// happen only at preemption quanta and grace periods starve.
+func (e *NEBR) QuiescentState(cpu int) {
+	if e.cpu(cpu).qsCalls.Add(1)%32 == 0 {
+		runtime.Gosched()
+	}
+}
 
 // EnterIdle is a no-op: an idle CPU is simply one that is not pinned.
 func (e *NEBR) EnterIdle(cpu int) {}
@@ -510,4 +583,7 @@ func (e *NEBR) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(e.restarts.Load()) })
 	reg.GaugeFunc("prudence_nebr_retire_backlog", "Retired objects awaiting their epoch pair.",
 		func() float64 { return float64(e.queue.Pending()) })
+	reg.CounterFunc("prudence_sync_expedited_advances_total", "Epoch advances taken on the expedited path (pacing gap skipped on demand).",
+		func() float64 { return float64(e.expeditedAdvances.Load()) })
+	e.queue.RegisterMetrics(reg)
 }

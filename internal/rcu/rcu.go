@@ -51,10 +51,12 @@ type Cookie = gsync.Cookie
 func init() {
 	gsync.Register("rcu", func(m *vcpu.Machine, o gsync.Options) gsync.Backend {
 		return New(m, Options{
-			Blimit:         o.RetireBatch,
-			ThrottleDelay:  o.RetireDelay,
-			MinGPInterval:  o.GPInterval,
-			QSPollInterval: o.PollInterval,
+			Blimit:          o.RetireBatch,
+			ExpeditedBlimit: o.ExpeditedBlimit,
+			Qhimark:         o.Qhimark,
+			ThrottleDelay:   o.RetireDelay,
+			MinGPInterval:   o.GPInterval,
+			QSPollInterval:  o.PollInterval,
 		})
 	})
 }
@@ -170,7 +172,12 @@ type RCU struct {
 
 	pending  atomic.Int64 // callbacks not yet invoked
 	needGP   atomic.Bool  // external demand for a grace period (Prudence)
-	pressure atomic.Bool
+	// expedite records expedited demand (ExpediteGP): the driver skips
+	// the inter-GP gap while set. Cleared when the grace period it
+	// hastened completes.
+	expedite     atomic.Bool
+	expeditedGPs atomic.Uint64
+	pressure     atomic.Bool
 
 	//prudence:lockorder 50
 	gpMu sync.Mutex
@@ -385,13 +392,37 @@ func (r *RCU) NeedGP() {
 	}
 }
 
+// ExpediteGP raises expedited demand: the driver starts the next grace
+// period without waiting out the inter-GP gap (quiescent-state
+// detection is untouched — expediting never weakens the protocol).
+// One-shot: consumed when the grace period it hastened completes.
+func (r *RCU) ExpediteGP() {
+	r.expedite.Store(true)
+	r.needGP.Store(true)
+	// Chaos: as in NeedGP, the recorded demand, not the kick, carries
+	// the liveness guarantee.
+	//prudence:fault_point
+	if fault.Fire(fault.LostWakeup) {
+		return
+	}
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ExpeditedAdvances returns how many grace periods started on the
+// expedited path (inter-GP gap skipped on demand).
+func (r *RCU) ExpeditedAdvances() uint64 { return r.expeditedGPs.Load() }
+
 // WaitElapsed blocks until the cookie has elapsed (or the engine is
-// stopped, in which case it returns false).
+// stopped, in which case it returns false). A blocked synchronous
+// waiter is latency-sensitive, so the demand it raises is expedited.
 func (r *RCU) WaitElapsed(c Cookie) bool {
 	if r.Elapsed(c) {
 		return true
 	}
-	r.NeedGP()
+	r.ExpediteGP()
 	r.gpMu.Lock()
 	defer r.gpMu.Unlock()
 	for !r.Elapsed(c) {
@@ -450,7 +481,8 @@ func (r *RCU) WaitElapsedOnTimeout(cpu int, c Cookie, d time.Duration) bool {
 		if time.Now().After(deadline) {
 			return r.Elapsed(c)
 		}
-		r.NeedGP()
+		// A deadline-bound waiter is starved by definition: expedite.
+		r.ExpediteGP()
 		select {
 		case <-r.stop:
 			return r.Elapsed(c)
@@ -605,6 +637,8 @@ func (r *RCU) RegisterMetrics(reg *metrics.Registry) {
 		"Quiescent states reported (context switches observed).", r.qsReports)
 	reg.CounterFunc("prudence_rcu_synchronize_calls_total", "Blocking Synchronize calls.",
 		func() float64 { return float64(r.syncCalls.Load()) })
+	reg.CounterFunc("prudence_sync_expedited_advances_total", "Grace periods started on the expedited path (inter-GP gap skipped on demand).",
+		func() float64 { return float64(r.expeditedGPs.Load()) })
 	reg.GaugeFunc("prudence_rcu_callbacks_per_gp", "Mean callbacks invoked per completed grace period.",
 		func() float64 {
 			gps := r.gpCompleted.Load()
@@ -636,15 +670,22 @@ func (r *RCU) gpDriver() {
 			}
 			continue
 		}
-		// Enforce the inter-GP gap unless expediting under pressure.
-		if !r.pressure.Load() {
+		// Enforce the inter-GP gap unless expediting — under pressure
+		// or on explicit expedited demand.
+		expedited := r.pressure.Load() || r.expedite.Load()
+		if !expedited {
 			if gap := time.Since(lastGP); gap < r.opts.MinGPInterval {
 				select {
 				case <-r.stop:
 					return
 				case <-time.After(r.opts.MinGPInterval - gap):
 				}
+				// Expedited demand may have arrived during the gap.
+				expedited = r.pressure.Load() || r.expedite.Load()
 			}
+		}
+		if expedited {
+			r.expeditedGPs.Add(1)
 		}
 		r.needGP.Store(false)
 		target := r.gpStarted.Add(1)
@@ -664,6 +705,7 @@ func (r *RCU) gpDriver() {
 			}
 		}
 		r.gpCompleted.Store(target)
+		r.expedite.Store(false)
 		r.gpHist.Observe(time.Since(gpBegin))
 		lastGP = time.Now()
 		r.gpMu.Lock()

@@ -4,15 +4,60 @@ import (
 	stdsync "sync"
 	"sync/atomic"
 	"time"
+
+	"prudence/internal/metrics"
 )
 
 // GracePoller is the slice of Backend a RetireQueue drives reclamation
 // with: stamp retirements with Snapshot, free them once Elapsed, keep
-// demand raised with NeedGP while work is pending.
+// demand raised with NeedGP while work is pending, and escalate to
+// ExpediteGP when the backlog shows the updaters outrunning the drain.
 type GracePoller interface {
 	Snapshot() Cookie
 	Elapsed(Cookie) bool
 	NeedGP()
+	ExpediteGP()
+}
+
+// QueueOptions tunes a RetireQueue. Zero values take defaults.
+type QueueOptions struct {
+	// Batch bounds invocations per burst at the throttled rate
+	// (default 32, the blimit analogue).
+	Batch int
+	// ExpeditedBatch is the burst bound under memory pressure or a
+	// deep backlog (default 8 × Batch, the ExpeditedBlimit analogue).
+	ExpeditedBatch int
+	// Qhimark is the backlog above which batch limits come off
+	// entirely and the queue raises expedited grace-period demand on
+	// every drain pass (default 64 × Batch; negative disables). Past
+	// half of it, drains already run at the expedited batch size with
+	// no inter-burst delay — the backlog-proportional escalation that
+	// keeps the fastest updaters from outrunning the drain.
+	Qhimark int
+	// Delay is the pause between bursts at the throttled rate (0 =
+	// none).
+	Delay time.Duration
+	// Poll is the drainer's fallback re-check period (default 50µs).
+	Poll time.Duration
+}
+
+func (o QueueOptions) withDefaults() QueueOptions {
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.ExpeditedBatch <= 0 {
+		o.ExpeditedBatch = 8 * o.Batch
+	}
+	if o.Qhimark == 0 {
+		o.Qhimark = 64 * o.Batch
+	}
+	if o.Delay < 0 {
+		o.Delay = 0
+	}
+	if o.Poll <= 0 {
+		o.Poll = 50 * time.Microsecond
+	}
+	return o
 }
 
 // retired is one deferred function stamped with the cookie it must
@@ -43,18 +88,21 @@ type rqShard struct {
 // background goroutine as grace periods elapse. It is the moral
 // equivalent of internal/rcu's callback lists, shared so every epoch
 // flavor does not reimplement batching, throttling, barriers and
-// pressure expediting.
+// pressure expediting. Drain batches scale with the backlog (see
+// QueueOptions.Qhimark) so a sustained deferred-free storm cannot grow
+// the limbo bags without bound — the nebr×slub endurance OOM class.
 type RetireQueue struct {
 	gp     GracePoller
 	shards []*rqShard
 
-	batch     int
-	delay     time.Duration
-	poll      time.Duration
+	opts      QueueOptions
 	pressured atomic.Bool
 
 	pending    atomic.Int64
 	maxBacklog atomic.Int64
+	// expeditedDrains counts bursts that ran above the throttled batch
+	// size (pressure, deep backlog, or past qhimark).
+	expeditedDrains atomic.Uint64
 
 	kick     chan struct{}
 	stopOnce stdsync.Once
@@ -63,24 +111,11 @@ type RetireQueue struct {
 }
 
 // NewRetireQueue creates and starts a queue with one limbo bag per CPU.
-// batch <= 0 defaults to 32 entries per invocation burst; delay is the
-// pause between bursts (0 = none); poll <= 0 defaults to 50µs.
-func NewRetireQueue(gp GracePoller, cpus, batch int, delay, poll time.Duration) *RetireQueue {
-	if batch <= 0 {
-		batch = 32
-	}
-	if delay < 0 {
-		delay = 0
-	}
-	if poll <= 0 {
-		poll = 50 * time.Microsecond
-	}
+func NewRetireQueue(gp GracePoller, cpus int, opts QueueOptions) *RetireQueue {
 	q := &RetireQueue{
 		gp:     gp,
 		shards: make([]*rqShard, cpus),
-		batch:  batch,
-		delay:  delay,
-		poll:   poll,
+		opts:   opts.withDefaults(),
 		kick:   make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 	}
@@ -93,7 +128,8 @@ func NewRetireQueue(gp GracePoller, cpus, batch int, delay, poll time.Duration) 
 }
 
 // Retire enqueues fn on cpu's limbo bag, stamped with the current
-// grace-period cookie, and raises demand so the epoch machinery moves.
+// grace-period cookie, and raises demand so the epoch machinery moves —
+// expedited demand once the backlog has grown past the qhimark.
 func (q *RetireQueue) Retire(cpu int, fn func()) {
 	s := q.shards[cpu]
 	c := q.gp.Snapshot()
@@ -101,10 +137,15 @@ func (q *RetireQueue) Retire(cpu int, fn func()) {
 	s.bag = append(s.bag, retired{c: c, fn: fn})
 	s.mu.Unlock()
 	s.seq.Add(1)
-	if n := q.pending.Add(1); n > q.maxBacklog.Load() {
+	n := q.pending.Add(1)
+	if n > q.maxBacklog.Load() {
 		q.maxBacklog.Store(n)
 	}
-	q.gp.NeedGP()
+	if q.opts.Qhimark > 0 && n > int64(q.opts.Qhimark) {
+		q.gp.ExpediteGP()
+	} else {
+		q.gp.NeedGP()
+	}
 	select {
 	case q.kick <- struct{}{}:
 	default:
@@ -117,13 +158,36 @@ func (q *RetireQueue) Pending() int64 { return q.pending.Load() }
 // MaxBacklog returns the high-water mark of Pending.
 func (q *RetireQueue) MaxBacklog() int64 { return q.maxBacklog.Load() }
 
+// ExpeditedDrains returns how many bursts ran above the throttled batch
+// size.
+func (q *RetireQueue) ExpeditedDrains() uint64 { return q.expeditedDrains.Load() }
+
+// effectiveBatch returns the per-burst invocation bound for the current
+// backlog: the throttled batch normally, the expedited batch under
+// pressure or past half the qhimark, and the whole backlog once the
+// qhimark itself is crossed (rcu's "limits come off entirely").
+func (q *RetireQueue) effectiveBatch() (limit int, expedited bool) {
+	limit = q.opts.Batch
+	backlog := int(q.pending.Load())
+	if q.pressured.Load() {
+		limit, expedited = q.opts.ExpeditedBatch, true
+	}
+	if q.opts.Qhimark > 0 && backlog > q.opts.Qhimark/2 {
+		limit, expedited = q.opts.ExpeditedBatch, true
+		if backlog > q.opts.Qhimark {
+			limit = backlog
+		}
+	}
+	return limit, expedited
+}
+
 // SetPressure switches the queue between throttled draining (batch +
-// delay) and expedited draining (no inter-burst delay), mirroring the
-// kernel's blimit lift under memory pressure.
+// delay) and expedited draining (larger batches, no inter-burst delay),
+// mirroring the kernel's blimit lift under memory pressure.
 func (q *RetireQueue) SetPressure(under bool) {
 	q.pressured.Store(under)
 	if under {
-		q.gp.NeedGP()
+		q.gp.ExpediteGP()
 		select {
 		case q.kick <- struct{}{}:
 		default:
@@ -134,7 +198,9 @@ func (q *RetireQueue) SetPressure(under bool) {
 // Barrier blocks until every retirement accepted before the call has
 // been invoked, or the queue stops. Demand is re-raised on every poll:
 // the epoch machinery may clear it while our cookies are still
-// outstanding (the lost-demand class PR 2 fixed in rcu).
+// outstanding (the lost-demand class PR 2 fixed in rcu). A blocked
+// barrier is latency-sensitive by definition, so the demand it raises
+// is expedited.
 func (q *RetireQueue) Barrier() {
 	targets := make([]uint64, len(q.shards))
 	for i, s := range q.shards {
@@ -151,7 +217,7 @@ func (q *RetireQueue) Barrier() {
 		if reached {
 			return
 		}
-		q.gp.NeedGP()
+		q.gp.ExpediteGP()
 		select {
 		case q.kick <- struct{}{}:
 		default:
@@ -159,7 +225,7 @@ func (q *RetireQueue) Barrier() {
 		select {
 		case <-q.stopCh:
 			return
-		case <-time.After(q.poll):
+		case <-time.After(q.opts.Poll):
 		}
 	}
 }
@@ -177,6 +243,20 @@ func (q *RetireQueue) Stop() {
 	})
 }
 
+// RegisterMetrics registers the queue's observability series under the
+// scheme-independent prudence_sync_retire_* names, so retire-drain
+// behaviour reads identically over every backend built on the queue.
+func (q *RetireQueue) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("prudence_sync_retire_backlog", "Retired objects enqueued but not yet invoked.",
+		func() float64 { return float64(q.pending.Load()) })
+	reg.GaugeFunc("prudence_sync_retire_backlog_peak", "High-water mark of the retire backlog.",
+		func() float64 { return float64(q.maxBacklog.Load()) })
+	reg.GaugeFunc("prudence_sync_retire_batch_size", "Current effective drain batch bound (backlog- and pressure-scaled).",
+		func() float64 { l, _ := q.effectiveBatch(); return float64(l) })
+	reg.CounterFunc("prudence_sync_retire_expedited_drains_total", "Drain bursts run above the throttled batch size.",
+		func() float64 { return float64(q.expeditedDrains.Load()) })
+}
+
 func (q *RetireQueue) drainer() {
 	defer q.wg.Done()
 	for {
@@ -184,7 +264,7 @@ func (q *RetireQueue) drainer() {
 		case <-q.stopCh:
 			return
 		case <-q.kick:
-		case <-time.After(q.poll):
+		case <-time.After(q.opts.Poll):
 		}
 		for i := range q.shards {
 			q.drainShard(i, false)
@@ -192,20 +272,28 @@ func (q *RetireQueue) drainer() {
 		if q.pending.Load() > 0 {
 			// Keep demand raised until the backlog clears: the epoch
 			// machinery clears demand at grace-period boundaries, and
-			// entries stamped just before a boundary outlive it.
-			q.gp.NeedGP()
+			// entries stamped just before a boundary outlive it. A
+			// backlog past the qhimark means the drain is losing the
+			// race — escalate.
+			if q.opts.Qhimark > 0 && q.pending.Load() > int64(q.opts.Qhimark) {
+				q.gp.ExpediteGP()
+			} else {
+				q.gp.NeedGP()
+			}
 		}
 	}
 }
 
 // drainShard invokes the elapsed prefix of shard i's bag in bounded
-// bursts, sleeping delay between bursts unless pressured (or stopping).
+// bursts, sleeping delay between bursts only at the throttled rate
+// (never when pressured, backlogged past qhimark/2, or stopping).
 func (q *RetireQueue) drainShard(i int, stopping bool) {
 	s := q.shards[i]
 	for {
+		limit, expedited := q.effectiveBatch()
 		s.mu.Lock()
 		ready := 0
-		for ready < len(s.bag) && ready < q.batch && q.gp.Elapsed(s.bag[ready].c) {
+		for ready < len(s.bag) && ready < limit && q.gp.Elapsed(s.bag[ready].c) {
 			ready++
 		}
 		burst := make([]retired, ready)
@@ -215,6 +303,9 @@ func (q *RetireQueue) drainShard(i int, stopping bool) {
 		if ready == 0 {
 			return
 		}
+		if expedited {
+			q.expeditedDrains.Add(1)
+		}
 		for _, r := range burst {
 			r.fn()
 		}
@@ -223,10 +314,10 @@ func (q *RetireQueue) drainShard(i int, stopping bool) {
 		if stopping {
 			continue
 		}
-		if q.delay > 0 && !q.pressured.Load() {
+		if q.opts.Delay > 0 && !expedited {
 			select {
 			case <-q.stopCh:
-			case <-time.After(q.delay):
+			case <-time.After(q.opts.Delay):
 			}
 		}
 	}

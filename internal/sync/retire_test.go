@@ -9,21 +9,24 @@ import (
 )
 
 // fakePoller is a hand-cranked grace-period source: cookies are epoch+1
-// and elapse when Advance has been called past them. needGP counts
-// demand so tests can assert the queue keeps raising it.
+// and elapse when Advance has been called past them. needGP and expedite
+// count demand so tests can assert the queue keeps raising it and
+// escalates past the qhimark.
 type fakePoller struct {
-	epoch  atomic.Uint64
-	needGP atomic.Uint64
+	epoch    atomic.Uint64
+	needGP   atomic.Uint64
+	expedite atomic.Uint64
 }
 
 func (f *fakePoller) Snapshot() gsync.Cookie      { return gsync.Cookie(f.epoch.Load() + 1) }
 func (f *fakePoller) Elapsed(c gsync.Cookie) bool { return f.epoch.Load() >= uint64(c) }
 func (f *fakePoller) NeedGP()                     { f.needGP.Add(1) }
+func (f *fakePoller) ExpediteGP()                 { f.expedite.Add(1) }
 func (f *fakePoller) Advance()                    { f.epoch.Add(1) }
 
 func TestRetireQueueDrainsInOrder(t *testing.T) {
 	fp := &fakePoller{}
-	q := gsync.NewRetireQueue(fp, 2, 4, 0, 100*time.Microsecond)
+	q := gsync.NewRetireQueue(fp, 2, gsync.QueueOptions{Batch: 4, Poll: 100 * time.Microsecond})
 	defer q.Stop()
 
 	var order []int
@@ -68,7 +71,7 @@ func TestRetireQueueDrainsInOrder(t *testing.T) {
 // before it; the drainer frees exactly the elapsed prefix.
 func TestRetireQueuePartialElapse(t *testing.T) {
 	fp := &fakePoller{}
-	q := gsync.NewRetireQueue(fp, 1, 0, 0, 100*time.Microsecond)
+	q := gsync.NewRetireQueue(fp, 1, gsync.QueueOptions{Poll: 100 * time.Microsecond})
 	defer q.Stop()
 
 	var early, late atomic.Bool
@@ -93,11 +96,61 @@ func TestRetireQueuePartialElapse(t *testing.T) {
 	}
 }
 
+// Past the qhimark, Retire escalates to expedited grace-period demand
+// and drains run above the throttled batch size (batch limits come off
+// entirely), so a deferred-free storm cannot grow the bags unboundedly.
+func TestRetireQueueQhimarkEscalation(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 1, gsync.QueueOptions{
+		Batch:   4,
+		Qhimark: 16,
+		Delay:   time.Hour, // throttled drains would be glacial
+		Poll:    100 * time.Microsecond,
+	})
+	defer q.Stop()
+
+	var invoked atomic.Int64
+	for i := 0; i < 64; i++ {
+		q.Retire(0, func() { invoked.Add(1) })
+	}
+	if fp.expedite.Load() == 0 {
+		t.Fatal("backlog past qhimark never raised expedited demand")
+	}
+	fp.Advance()
+	q.Barrier()
+	if got := invoked.Load(); got != 64 {
+		t.Fatalf("invoked = %d, want 64", got)
+	}
+	if q.ExpeditedDrains() == 0 {
+		t.Fatal("deep backlog drained without any expedited bursts")
+	}
+}
+
+// Below the qhimark the queue raises plain demand, not expedited.
+func TestRetireQueueBelowQhimarkPlainDemand(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 1, gsync.QueueOptions{
+		Batch:   4,
+		Qhimark: 1000,
+		Poll:    time.Hour, // drainer parked: only Retire raises demand
+	})
+	defer q.Stop()
+	for i := 0; i < 8; i++ {
+		q.Retire(0, func() {})
+	}
+	if fp.expedite.Load() != 0 {
+		t.Fatalf("expedited demand raised %d times below the qhimark", fp.expedite.Load())
+	}
+	if fp.needGP.Load() == 0 {
+		t.Fatal("queue never raised plain demand")
+	}
+}
+
 // Stop invokes already-elapsed entries (reclaimable memory must not be
 // stranded) and drops the rest.
 func TestRetireQueueStopDrainsElapsed(t *testing.T) {
 	fp := &fakePoller{}
-	q := gsync.NewRetireQueue(fp, 1, 0, 0, time.Hour) // drainer effectively parked
+	q := gsync.NewRetireQueue(fp, 1, gsync.QueueOptions{Poll: time.Hour}) // drainer effectively parked
 	var elapsed, pinned atomic.Bool
 	q.Retire(0, func() { elapsed.Store(true) }) // cookie 1
 	fp.Advance()                                // epoch 1: first entry elapsed

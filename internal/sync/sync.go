@@ -87,6 +87,16 @@ type Backend interface {
 	// demand is recorded (the fault layer's lost_wakeup point): a timer
 	// fallback, not the kick, is the liveness guarantee.
 	NeedGP()
+	// ExpediteGP raises *expedited* grace-period demand: the caller is
+	// actively starved (an allocator whose latent merge found nothing
+	// elapsed, an OOM-delay wait, a retire backlog past its qhimark) and
+	// the backend should drive the next grace period as fast as its
+	// safety protocol allows — skipping pacing gaps between advances —
+	// instead of at timer cadence. It implies NeedGP. Expedited demand
+	// is one-shot: it is consumed when the grace period it hastened
+	// completes. The same lost-wakeup tolerance applies: recording the
+	// demand, not the kick, is what the liveness guarantee rests on.
+	ExpediteGP()
 	// WaitElapsedOn blocks until the cookie elapses, treating the
 	// calling CPU as quiescent; returns false if the backend stopped.
 	WaitElapsedOn(cpu int, c Cookie) bool
@@ -146,6 +156,14 @@ type Options struct {
 	RetireBatch int
 	// RetireDelay is the pause between retire-processing batches.
 	RetireDelay time.Duration
+	// ExpeditedBlimit is the retire batch bound under memory pressure or
+	// expedited demand (rcu's ExpeditedBlimit analogue).
+	ExpeditedBlimit int
+	// Qhimark is the retire backlog above which batch limits come off
+	// entirely and the queue raises expedited grace-period demand
+	// itself (rcu's qhimark analogue). Negative disables the
+	// escalation.
+	Qhimark int
 }
 
 // Factory builds a started backend for machine.

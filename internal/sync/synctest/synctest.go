@@ -158,6 +158,56 @@ func Run(t *testing.T, cpus int, factory Factory) {
 		}
 	})
 
+	t.Run("ExpeditedDemandCompletes", func(t *testing.T) {
+		// The expedited contract: ExpediteGP raised while a reader is
+		// pinned must drive a grace period to completion within a
+		// bounded number of poll passes once the reader releases — the
+		// demand may not be lost to the pacing machinery it bypasses.
+		b := fresh(t)
+		held := make(chan struct{})
+		release := make(chan struct{})
+		readerDone := make(chan struct{})
+		go func() {
+			defer close(readerDone)
+			b.ExitIdle(1)
+			b.ReadLock(1)
+			close(held)
+			<-release
+			b.ReadUnlock(1)
+			b.EnterIdle(1)
+		}()
+		<-held
+		c := b.Snapshot()
+		b.ExpediteGP()
+		close(release)
+		<-readerDone
+		const passes = 2000
+		for i := 0; i < passes; i++ {
+			if b.Elapsed(c) {
+				return
+			}
+			b.QuiescentState(0)
+			time.Sleep(100 * time.Microsecond)
+		}
+		t.Fatalf("cookie not elapsed within %d poll passes of expedited demand", passes)
+	})
+
+	t.Run("ExpediteImpliesNeedGP", func(t *testing.T) {
+		// ExpediteGP alone (no NeedGP, no waiter) must complete a grace
+		// period: it implies plain demand.
+		b := fresh(t)
+		c := b.Snapshot()
+		b.ExpediteGP()
+		deadline := time.Now().Add(30 * time.Second)
+		for !b.Elapsed(c) {
+			if time.Now().After(deadline) {
+				t.Fatal("ExpediteGP without other demand never completed a grace period")
+			}
+			b.QuiescentState(0)
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+
 	t.Run("NestedReadLock", func(t *testing.T) {
 		b := fresh(t)
 		done := make(chan struct{})

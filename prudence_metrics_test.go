@@ -120,6 +120,28 @@ func TestSystemMetricsReflectWorkload(t *testing.T) {
 			if got := samples["prudence_gp_completed_total"]; got < 1 {
 				t.Errorf("prudence_gp_completed_total = %v, want >= 1", got)
 			}
+			// Every backend exports the expedited-advance counter, and the
+			// cycle's blocking Synchronize/Drain raises expedited demand.
+			if !families["prudence_sync_expedited_advances_total"] {
+				t.Error("family prudence_sync_expedited_advances_total missing from exposition")
+			}
+			if got := samples["prudence_sync_expedited_advances_total"]; got < 1 {
+				t.Errorf("prudence_sync_expedited_advances_total = %v, want >= 1", got)
+			}
+			// Epoch-family backends additionally export the shared retire
+			// queue's backlog/batch gauges.
+			if tc.cfg.Reclamation == prudence.EBR {
+				for _, want := range []string{
+					"prudence_sync_retire_backlog",
+					"prudence_sync_retire_backlog_peak",
+					"prudence_sync_retire_batch_size",
+					"prudence_sync_retire_expedited_drains_total",
+				} {
+					if !families[want] {
+						t.Errorf("family %q missing from exposition", want)
+					}
+				}
+			}
 			info := fmt.Sprintf(`prudence_allocator_info{allocator=%q}`, sys.AllocatorName())
 			if got := samples[info]; got != 1 {
 				t.Errorf("%s = %v, want 1", info, got)
