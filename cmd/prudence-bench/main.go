@@ -11,6 +11,8 @@
 //	prudence-bench -exp apps -txns 2000     # figures 7-13 from one run
 //	prudence-bench -exp scaling -json out.json
 //	prudence-bench -exp matrix -schemes rcu,hp -json out.json
+//	prudence-bench -exp fig6 -arena mmap           # off-heap arena everywhere
+//	prudence-bench -exp arenacmp -json out.json    # heap vs mmap, with GC metrics
 //	prudence-bench -exp fig6 -cpuprofile cpu.pb.gz -mutexprofile mtx.pb.gz
 package main
 
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|matrix|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|matrix|arenacmp|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
 		cpus    = flag.Int("cpus", 8, "virtual CPUs")
 		pages   = flag.Int("pages", 16384, "arena size in 4 KiB pages")
 		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, scaling, ablation)")
@@ -41,6 +43,8 @@ func main() {
 		dosMs   = flag.Int("dos-ms", 1500, "DoS attack duration in milliseconds")
 		metrics = flag.Bool("metrics", false, "dump each stack's Prometheus metrics on teardown")
 		schemes = flag.String("schemes", "", "comma-separated reclamation schemes for the matrix (empty = all registered)")
+		arena   = flag.String("arena", "", "arena memory backend behind every experiment: heap|mmap (empty = heap, or $PRUDENCE_ARENA)")
+		arenas  = flag.String("arenas", "", "comma-separated arena backends for the arenacmp sweep (empty = all available)")
 
 		failOnOOM = flag.Bool("fail-on-oom", false, "exit 1 if any matrix cell reports an out-of-memory (CI guard for the endurance OOM class)")
 
@@ -54,6 +58,7 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.CPUs = *cpus
 	cfg.ArenaPages = *pages
+	cfg.Arena = *arena // empty falls through to $PRUDENCE_ARENA in NewStack
 	if *metrics {
 		cfg.MetricsTo = os.Stdout
 	}
@@ -158,6 +163,31 @@ func main() {
 				for _, c := range res.Cells {
 					if c.OOM {
 						return fmt.Errorf("cell scheme=%s alloc=%s workload=%s reported oom=1", c.Scheme, c.Kind, c.Workload)
+					}
+				}
+			}
+			return nil
+		})
+	}
+	if want("arenacmp") {
+		run("arenacmp", func() error {
+			var arenaList, schemeList []string
+			if *arenas != "" {
+				arenaList = strings.Split(*arenas, ",")
+			}
+			if *schemes != "" {
+				schemeList = strings.Split(*schemes, ",")
+			}
+			res, err := bench.RunArenaCompare(cfg, *size, *pairs, arenaList, schemeList, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			records = append(records, res.Records()...)
+			if *failOnOOM {
+				for _, c := range res.Cells {
+					if c.OOM {
+						return fmt.Errorf("cell arena=%s scheme=%s alloc=%s workload=%s reported oom=1", c.Arena, c.Scheme, c.Kind, c.Workload)
 					}
 				}
 			}
@@ -277,8 +307,8 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig6") && !want("scaling") && !want("matrix") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling matrix apps fig7..fig13 cost dos ablation all\n", *exp)
+	if !want("fig6") && !want("scaling") && !want("matrix") && !want("arenacmp") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling matrix arenacmp apps fig7..fig13 cost dos ablation all\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -5,6 +5,7 @@
 //	guardedby   — guarded fields accessed only under their lock
 //	atomicalign — 64-bit atomic alignment and padded struct sizes
 //	rcucheck    — read-side RCU pointer access, no use after FreeDeferred
+//	arenaunsafe — pointer-forging unsafe confined to internal/view
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"prudence/internal/analysis"
+	"prudence/internal/analysis/arenaunsafe"
 	"prudence/internal/analysis/atomicalign"
 	"prudence/internal/analysis/driver"
 	"prudence/internal/analysis/guardedby"
@@ -34,6 +36,7 @@ var all = []*analysis.Analyzer{
 	guardedby.Analyzer,
 	atomicalign.Analyzer,
 	rcucheck.Analyzer,
+	arenaunsafe.Analyzer,
 }
 
 func main() {

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -34,6 +35,11 @@ type Stack struct {
 type StackConfig struct {
 	CPUs  int
 	Pages int
+	// Arena names the memarena backend; empty falls back to the
+	// PRUDENCE_ARENA environment variable and then the default, so CI
+	// can sweep the whole allocator test suite across backends without
+	// touching individual tests.
+	Arena string
 	RCU   rcu.Options
 }
 
@@ -58,8 +64,19 @@ type BuildAllocator func(s *Stack) alloc.Allocator
 // NewStack builds a stack and registers cleanup with t.
 func NewStack(t testing.TB, cfg StackConfig, build BuildAllocator) *Stack {
 	t.Helper()
+	backend := cfg.Arena
+	if backend == "" {
+		backend = os.Getenv("PRUDENCE_ARENA")
+	}
+	if backend == "" {
+		backend = memarena.DefaultBackend
+	}
 	s := &Stack{}
-	s.Arena = memarena.New(cfg.Pages)
+	arena, err := memarena.NewBackend(backend, cfg.Pages)
+	if err != nil {
+		t.Fatalf("alloctest: %v", err)
+	}
+	s.Arena = arena
 	s.Pages = pagealloc.New(s.Arena)
 	s.Machine = vcpu.NewMachine(cfg.CPUs)
 	s.RCU = rcu.New(s.Machine, cfg.RCU)
@@ -67,6 +84,7 @@ func NewStack(t testing.TB, cfg StackConfig, build BuildAllocator) *Stack {
 	t.Cleanup(func() {
 		s.RCU.Stop()
 		s.Machine.Stop()
+		s.Arena.Close()
 	})
 	return s
 }

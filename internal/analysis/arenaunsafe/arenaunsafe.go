@@ -1,0 +1,75 @@
+// Package arenaunsafe fences the repository's unsafe arena access into
+// internal/view. The typed-view package is the one place allowed to
+// reinterpret arena bytes through unsafe.Pointer, because it is the one
+// place that proves the preconditions (bounds, alignment, pointer-free
+// element types) before every cast. Anywhere else, an unsafe
+// reinterpretation of arena memory can silently hide Go pointers from
+// the garbage collector — fatal with the mmap backend, where the arena
+// is invisible to the runtime — so prudence-vet rejects it.
+//
+// Flagged: unsafe.Pointer (in any position), unsafe.Add, unsafe.Slice,
+// unsafe.SliceData, unsafe.String, unsafe.StringData outside a package
+// whose import path ends in "/view". Exempt everywhere:
+// unsafe.Sizeof/Alignof/Offsetof, which are compile-time layout queries
+// that never create an aliasing pointer.
+package arenaunsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"prudence/internal/analysis"
+)
+
+// Analyzer is the arenaunsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaunsafe",
+	Doc:  "restrict pointer-forging unsafe operations to the typed-view package",
+	Run:  run,
+}
+
+// pointerForging lists the unsafe package members that create or
+// manipulate aliasing pointers. Sizeof, Alignof and Offsetof are absent
+// deliberately: they are constant expressions over layout.
+var pointerForging = map[string]bool{
+	"Pointer":    true,
+	"Add":        true,
+	"Slice":      true,
+	"SliceData":  true,
+	"String":     true,
+	"StringData": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !pointerForging[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "unsafe" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "unsafe.%s outside internal/view: route arena access through the typed-view API (view.Of/At/Slice) so bounds, alignment and pointer-freedom are checked",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// allowed reports whether the package is the typed-view package (or a
+// fixture standing in for it: any import path ending in "/view" or
+// named exactly "view").
+func allowed(path string) bool {
+	return path == "view" || strings.HasSuffix(path, "/view")
+}

@@ -1,0 +1,18 @@
+package arenaunsafe
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestArenaUnsafe(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}
+
+// The view fixture contains the same unsafe operations as the positive
+// fixture but sits in a package whose path ends in /view, so it must
+// produce no diagnostics (its file has no want comments).
+func TestViewPackageExempt(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/view")
+}

@@ -1,0 +1,45 @@
+// Package a is the arenaunsafe fixture: pointer-forging unsafe
+// operations outside the typed-view package, which the analyzer must
+// flag, alongside the compile-time layout queries it must not.
+package a
+
+import "unsafe"
+
+type header struct {
+	key uint64
+	gen uint32
+}
+
+// CastFrame reinterprets raw arena bytes directly — the exact pattern
+// the typed-view API exists to replace.
+func CastFrame(b []byte) *header {
+	return (*header)(unsafe.Pointer(&b[0])) // want `unsafe\.Pointer outside internal/view`
+}
+
+// WalkFrame forges a derived pointer.
+func WalkFrame(p *header) *header {
+	return (*header)(unsafe.Add(unsafe.Pointer(p), 16)) // want `unsafe\.Add outside internal/view` `unsafe\.Pointer outside internal/view`
+}
+
+// ReSlice forges a slice header over arena memory.
+func ReSlice(p *header, n int) []header {
+	return unsafe.Slice(p, n) // want `unsafe\.Slice outside internal/view`
+}
+
+// AliasString forges a string over arena bytes.
+func AliasString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b)) // want `unsafe\.String outside internal/view` `unsafe\.SliceData outside internal/view`
+}
+
+// FieldDecl: unsafe.Pointer in a type position is just as dangerous as
+// in a conversion.
+type holder struct {
+	raw unsafe.Pointer // want `unsafe\.Pointer outside internal/view`
+}
+
+// LayoutQueries are compile-time constants that never alias memory;
+// the analyzer must stay quiet here.
+func LayoutQueries() (uintptr, uintptr, uintptr) {
+	var h header
+	return unsafe.Sizeof(h), unsafe.Alignof(h), unsafe.Offsetof(h.gen)
+}

@@ -1,0 +1,23 @@
+// Package view is the arenaunsafe negative fixture: its import path
+// ends in /view, so the same pointer-forging operations the positive
+// fixture trips on are permitted here, mirroring the exemption for the
+// real prudence/internal/view package.
+package view
+
+import "unsafe"
+
+type header struct {
+	key uint64
+	gen uint32
+}
+
+// Of mirrors the real typed-view construction: an unsafe cast that is
+// legal because this package carries the checking obligations.
+func Of(b []byte) *header {
+	return (*header)(unsafe.Pointer(&b[0]))
+}
+
+// SliceOf mirrors view.Slice.
+func SliceOf(b []byte, n int) []header {
+	return unsafe.Slice((*header)(unsafe.Pointer(&b[0])), n)
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"prudence/internal/memarena"
+	"prudence/internal/slabcore"
+	"prudence/internal/stats"
+	"prudence/internal/workload"
+)
+
+// ArenaCell is one (arena, scheme, allocator, workload) measurement,
+// annotated with the Go runtime's view of the run. The workload-facing
+// fields mirror MatrixCell; the MemStats fields are what the arena
+// backends are supposed to change.
+type ArenaCell struct {
+	Arena    string
+	Scheme   string
+	Kind     Kind
+	Workload string
+
+	OpsPerSec float64
+	Stalls    int
+	GPs       uint64
+	OOM       bool
+	PeakPages int
+
+	// LiveHeapInuse is runtime.MemStats.HeapInuse sampled after a forced
+	// collection while the arena is still mapped. A heap arena's backing
+	// array is live heap and shows up here; an mmap arena's pages are
+	// invisible to the runtime, so the number stays near the baseline.
+	LiveHeapInuse uint64
+	// NumGC and PauseNs are the collection count and total stop-the-world
+	// pause accumulated across the cell's run (stack build + workload +
+	// the forced sample collection, identically for every backend).
+	NumGC   uint32
+	PauseNs uint64
+}
+
+// ArenaCompareResult is the arena × scheme × allocator × workload sweep.
+type ArenaCompareResult struct {
+	Size      int
+	OpsPerCPU int
+	CPUs      int
+	Arenas    []string
+	Cells     []ArenaCell
+}
+
+// RunArenaCompare reruns the reclamation matrix once per arena backend,
+// holding machine, scheme, and workload fixed so the only variable is
+// where the arena's bytes live. Alongside throughput it records the GC
+// metrics that justify the mmap backend: live heap occupied by the
+// arena, collections triggered, and pause time. Empty slices mean "all
+// registered" (arenas available on this platform, schemes, workloads).
+func RunArenaCompare(cfg Config, size, opsPerCPU int, arenas, schemes, workloads []string) (ArenaCompareResult, error) {
+	if len(arenas) == 0 {
+		arenas = memarena.Backends()
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"rcu"}
+	}
+	if len(workloads) == 0 {
+		workloads = MatrixWorkloads
+	}
+	res := ArenaCompareResult{Size: size, OpsPerCPU: opsPerCPU, CPUs: cfg.CPUs, Arenas: arenas}
+	for _, arena := range arenas {
+		if !memarena.BackendAvailable(arena) {
+			return res, fmt.Errorf("bench: unknown arena backend %q (available: %v)", arena, memarena.Backends())
+		}
+		for _, scheme := range schemes {
+			for _, wl := range workloads {
+				for _, kind := range []Kind{KindSLUB, KindPrudence} {
+					cell, err := runArenaCell(cfg, arena, scheme, wl, kind, size, opsPerCPU)
+					if err != nil {
+						return res, err
+					}
+					res.Cells = append(res.Cells, cell)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func runArenaCell(cfg Config, arena, scheme, wl string, kind Kind, size, opsPerCPU int) (ArenaCell, error) {
+	c := cfg
+	c.Arena = arena
+	c.Scheme = scheme
+	if c.PressureWatermark == 0 {
+		c.PressureWatermark = c.ArenaPages / 2
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	s := NewStack(kind, c)
+	defer s.Close()
+	cell := ArenaCell{Arena: arena, Scheme: scheme, Kind: kind, Workload: wl}
+	switch wl {
+	case "micro":
+		cache := s.Alloc.NewCache(slabcore.DefaultConfig(fmt.Sprintf("kmalloc-%d", size), size, c.CPUs))
+		r := workload.RunMicro(s.Env(), cache, opsPerCPU)
+		cell.OpsPerSec = r.PairsPerSec()
+		cell.Stalls = r.Stalls
+		cache.Drain()
+	case "endurance":
+		cache := s.Alloc.NewCache(slabcore.DefaultConfig("endurance-512", 512, c.CPUs))
+		r := workload.RunEndurance(s.Env(), cache, workload.EnduranceConfig{
+			ListLen: 32,
+			Updates: opsPerCPU,
+		})
+		if r.Elapsed > 0 {
+			cell.OpsPerSec = float64(r.Updates) / r.Elapsed.Seconds()
+		}
+		cell.OOM = r.OOM
+		cell.PeakPages = r.PeakPages
+		cache.Drain()
+	default:
+		return cell, fmt.Errorf("bench: unknown arena-compare workload %q (have %v)", wl, MatrixWorkloads)
+	}
+	cell.GPs = s.Sync.GPsCompleted()
+	// Sample with the arena still mapped: after a forced collection,
+	// HeapInuse retains a heap arena's backing array but not mmap pages.
+	runtime.GC()
+	var live runtime.MemStats
+	runtime.ReadMemStats(&live)
+	cell.LiveHeapInuse = live.HeapInuse
+	cell.NumGC = live.NumGC - before.NumGC
+	cell.PauseNs = live.PauseTotalNs - before.PauseTotalNs
+	return cell, nil
+}
+
+// cellKey indexes a cell within one workload's group.
+func (r ArenaCompareResult) cell(arena, scheme, wl string, kind Kind) (ArenaCell, bool) {
+	for _, c := range r.Cells {
+		if c.Arena == arena && c.Scheme == scheme && c.Workload == wl && c.Kind == kind {
+			return c, true
+		}
+	}
+	return ArenaCell{}, false
+}
+
+// Table renders the comparison grouped by workload: one row per
+// (scheme, allocator), one column group per arena backend.
+func (r ArenaCompareResult) Table() string {
+	out := fmt.Sprintf("Arena comparison: %d CPUs, %d B objects, %d ops/CPU (ops/s, higher is better)\n",
+		r.CPUs, r.Size, r.OpsPerCPU)
+	for _, wl := range MatrixWorkloads {
+		cols := []string{"scheme", "alloc"}
+		for _, a := range r.Arenas {
+			cols = append(cols, a+" ops/s", a+" heap MiB", a+" GCs", a+" pause µs")
+		}
+		if len(r.Arenas) == 2 {
+			cols = append(cols, "ratio")
+		}
+		t := stats.NewTable(cols...)
+		seen := false
+		var schemes []string
+		inScheme := map[string]bool{}
+		for _, c := range r.Cells {
+			if c.Workload == wl && !inScheme[c.Scheme] {
+				inScheme[c.Scheme] = true
+				schemes = append(schemes, c.Scheme)
+			}
+		}
+		for _, scheme := range schemes {
+			for _, kind := range []Kind{KindSLUB, KindPrudence} {
+				row := []any{scheme, string(kind)}
+				var ops []float64
+				found := false
+				for _, a := range r.Arenas {
+					c, ok := r.cell(a, scheme, wl, kind)
+					if !ok {
+						row = append(row, "-", "-", "-", "-")
+						ops = append(ops, 0)
+						continue
+					}
+					found = true
+					row = append(row,
+						fmt.Sprintf("%.0f", c.OpsPerSec),
+						fmt.Sprintf("%.1f", float64(c.LiveHeapInuse)/(1<<20)),
+						c.NumGC,
+						fmt.Sprintf("%.0f", float64(c.PauseNs)/1e3))
+					ops = append(ops, c.OpsPerSec)
+				}
+				if !found {
+					continue
+				}
+				seen = true
+				if len(r.Arenas) == 2 {
+					ratio := 0.0
+					if ops[0] > 0 {
+						ratio = ops[1] / ops[0]
+					}
+					row = append(row, fmt.Sprintf("%.2fx", ratio))
+				}
+				t.AddRow(row...)
+			}
+		}
+		if seen {
+			out += wl + ":\n" + t.String() + "\n"
+		}
+	}
+	return out
+}
+
+// Records flattens the comparison for the benchmark-trajectory JSON.
+func (r ArenaCompareResult) Records() []Record {
+	var out []Record
+	for _, c := range r.Cells {
+		label := fmt.Sprintf("{arena=%s,scheme=%s,alloc=%s,workload=%s}", c.Arena, c.Scheme, c.Kind, c.Workload)
+		out = append(out,
+			Record{Exp: "arenacmp", Metric: "ops_per_sec" + label, Value: c.OpsPerSec, Unit: "ops/s"},
+			Record{Exp: "arenacmp", Metric: "live_heap_inuse" + label, Value: float64(c.LiveHeapInuse), Unit: "bytes"},
+			Record{Exp: "arenacmp", Metric: "num_gc" + label, Value: float64(c.NumGC), Unit: "count"},
+			Record{Exp: "arenacmp", Metric: "gc_pause_ns" + label, Value: float64(c.PauseNs), Unit: "ns"},
+		)
+		if c.Workload == "endurance" {
+			oom := 0.0
+			if c.OOM {
+				oom = 1
+			}
+			out = append(out,
+				Record{Exp: "arenacmp", Metric: "oom" + label, Value: oom, Unit: "bool"},
+				Record{Exp: "arenacmp", Metric: "peak_pages" + label, Value: float64(c.PeakPages), Unit: "pages"},
+			)
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"prudence/internal/alloc"
@@ -42,6 +43,11 @@ const (
 type Config struct {
 	CPUs       int
 	ArenaPages int
+	// Arena selects the memory backend behind the arena by registered
+	// name ("heap", and "mmap" on Linux); empty means memarena's
+	// default. Experiments comparing backends hold everything else
+	// fixed and vary only this.
+	Arena string
 	// Scheme selects the reclamation backend by registered name; empty
 	// means "rcu", built directly from the RCU options below. Other
 	// schemes (ebr, hp, nebr) are resolved through the internal/sync
@@ -90,7 +96,9 @@ func DefaultConfig() Config {
 type Stack struct {
 	Kind    Kind
 	Scheme  string
-	Arena   *memarena.Arena
+	// ArenaName is the memory backend behind Arena.
+	ArenaName string
+	Arena     *memarena.Arena
 	Pages   *pagealloc.Allocator
 	Machine *vcpu.Machine
 	// Sync is the reclamation backend every layer shares. RCU aliases
@@ -113,8 +121,18 @@ func NewStack(kind Kind, cfg Config) *Stack {
 	if cfg.Scheme == "" {
 		cfg.Scheme = "rcu"
 	}
-	s := &Stack{Kind: kind, Scheme: cfg.Scheme, metricsTo: cfg.MetricsTo}
-	s.Arena = memarena.New(cfg.ArenaPages)
+	if cfg.Arena == "" {
+		cfg.Arena = os.Getenv("PRUDENCE_ARENA")
+	}
+	if cfg.Arena == "" {
+		cfg.Arena = memarena.DefaultBackend
+	}
+	s := &Stack{Kind: kind, Scheme: cfg.Scheme, ArenaName: cfg.Arena, metricsTo: cfg.MetricsTo}
+	arena, err := memarena.NewBackend(cfg.Arena, cfg.ArenaPages)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	s.Arena = arena
 	s.Pages = pagealloc.New(s.Arena)
 	s.Machine = vcpu.NewMachine(cfg.CPUs)
 	if cfg.Scheme == "rcu" {
@@ -187,6 +205,7 @@ func (s *Stack) Close() {
 	}
 	s.Sync.Stop()
 	s.Machine.Stop()
+	s.Arena.Close()
 }
 
 // both runs fn against a fresh stack of each kind and returns the

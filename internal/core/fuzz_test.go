@@ -24,6 +24,7 @@ func FuzzAllocatorOps(f *testing.F) {
 			tape = tape[:400]
 		}
 		arena := memarena.New(1024)
+		defer arena.Close()
 		pages := pagealloc.New(arena)
 		machine := vcpu.NewMachine(1)
 		r := rcu.New(machine, rcu.Options{})

@@ -90,5 +90,6 @@ func TestLeakReproNoPreMove(t *testing.T) {
 		}
 		r.Stop()
 		machine.Stop()
+		arena.Close()
 	}
 }

@@ -129,6 +129,7 @@ func TestCookieSemantics(t *testing.T) {
 // drain to zero — the turnkey-generality claim of the paper.
 func TestPrudenceOverEBR(t *testing.T) {
 	arena := memarena.New(2048)
+	defer arena.Close()
 	pages := pagealloc.New(arena)
 	machine := vcpu.NewMachine(4)
 	e := ebr.New(machine, fastOpts())
@@ -197,6 +198,7 @@ func TestPrudenceOverEBR(t *testing.T) {
 // readers pin/unpin; everything drains.
 func TestPrudenceOverEBRConcurrent(t *testing.T) {
 	arena := memarena.New(4096)
+	defer arena.Close()
 	pages := pagealloc.New(arena)
 	machine := vcpu.NewMachine(4)
 	e := ebr.New(machine, fastOpts())
@@ -239,6 +241,7 @@ func TestPrudenceOverEBRConcurrent(t *testing.T) {
 // the same read-side interface serves both engines.
 func TestDataStructuresOverEBR(t *testing.T) {
 	arena := memarena.New(4096)
+	defer arena.Close()
 	pages := pagealloc.New(arena)
 	machine := vcpu.NewMachine(4)
 	e := ebr.New(machine, fastOpts())

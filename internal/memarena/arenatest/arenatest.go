@@ -1,0 +1,227 @@
+// Package arenatest is the cross-backend conformance suite for
+// memarena: every property the layers above rely on — frame bounds,
+// range aliasing, zero-fill on first use, typed-view round trips,
+// accounting parity — expressed once and run against every registered
+// backend. The heap and mmap backends must be indistinguishable through
+// the Arena surface; only their relationship to the Go runtime differs.
+package arenatest
+
+import (
+	"math/rand"
+	"testing"
+
+	"prudence/internal/memarena"
+	"prudence/internal/view"
+)
+
+// Run executes the conformance suite against the named backend,
+// skipping if the backend is not registered on this platform.
+func Run(t *testing.T, backend string) {
+	t.Helper()
+	if !memarena.BackendAvailable(backend) {
+		t.Skipf("arena backend %q not available on this platform", backend)
+	}
+	t.Run("PageBounds", func(t *testing.T) { testPageBounds(t, backend) })
+	t.Run("RangeAliasing", func(t *testing.T) { testRangeAliasing(t, backend) })
+	t.Run("ZeroFilled", func(t *testing.T) { testZeroFilled(t, backend) })
+	t.Run("FrameIsolation", func(t *testing.T) { testFrameIsolation(t, backend) })
+	t.Run("TypedViewRoundTrip", func(t *testing.T) { testTypedViewRoundTrip(t, backend) })
+	t.Run("TypedViewStaysInFrame", func(t *testing.T) { testTypedViewStaysInFrame(t, backend) })
+	t.Run("AccountingParity", func(t *testing.T) { testAccountingParity(t, backend) })
+	t.Run("CloseReleases", func(t *testing.T) { testCloseReleases(t, backend) })
+}
+
+func newArena(t *testing.T, backend string, pages int) *memarena.Arena {
+	t.Helper()
+	a, err := memarena.NewBackend(backend, pages)
+	if err != nil {
+		t.Fatalf("NewBackend(%q, %d): %v", backend, pages, err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func testPageBounds(t *testing.T, backend string) {
+	a := newArena(t, backend, 8)
+	if len(a.Page(0)) != memarena.PageSize || len(a.Page(7)) != memarena.PageSize {
+		t.Fatal("page length != PageSize")
+	}
+	for _, idx := range []int{-1, 8, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Page(%d) did not panic", idx)
+				}
+			}()
+			a.Page(idx)
+		}()
+	}
+	for _, bad := range [][2]int{{-1, 1}, {7, 2}, {0, -1}, {0, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Range(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			a.Range(bad[0], bad[1])
+		}()
+	}
+}
+
+func testRangeAliasing(t *testing.T, backend string) {
+	a := newArena(t, backend, 8)
+	r := a.Range(2, 3)
+	if len(r) != 3*memarena.PageSize {
+		t.Fatalf("Range len = %d", len(r))
+	}
+	r[0] = 0x7F
+	r[len(r)-1] = 0x80
+	if a.Page(2)[0] != 0x7F {
+		t.Fatal("Range start does not alias Page(2)")
+	}
+	if p := a.Page(4); p[len(p)-1] != 0x80 {
+		t.Fatal("Range end does not alias Page(4)")
+	}
+	// Appending to a clipped range must not stomp the next frame.
+	_ = append(r, 0xFF)
+	if a.Page(5)[0] != 0 {
+		t.Fatal("append to Range slice overwrote the next frame")
+	}
+}
+
+func testZeroFilled(t *testing.T, backend string) {
+	a := newArena(t, backend, 16)
+	for idx := 0; idx < 16; idx++ {
+		for i, b := range a.Page(idx) {
+			if b != 0 {
+				t.Fatalf("fresh frame %d byte %d = %#x, want 0", idx, i, b)
+			}
+		}
+	}
+}
+
+func testFrameIsolation(t *testing.T, backend string) {
+	a := newArena(t, backend, 4)
+	view.Fill(a.Page(1), 0xAA)
+	for _, idx := range []int{0, 2, 3} {
+		for i, b := range a.Page(idx) {
+			if b != 0 {
+				t.Fatalf("write to frame 1 leaked into frame %d byte %d", idx, i)
+			}
+		}
+	}
+}
+
+type obj struct {
+	Key   uint64
+	Gen   uint32
+	Flags uint32
+	Data  [6]uint64
+}
+
+func testTypedViewRoundTrip(t *testing.T, backend string) {
+	a := newArena(t, backend, 4)
+	frame := a.Page(2)
+	n := view.Fits[obj](frame)
+	if n == 0 {
+		t.Fatal("no objects fit in a frame")
+	}
+	objs := view.Slice[obj](frame, n)
+	for i := range objs {
+		objs[i].Key = uint64(i) * 3
+		objs[i].Gen = uint32(i)
+		objs[i].Data[5] = ^uint64(i)
+	}
+	// Re-derive the views from the raw frame: the values must survive,
+	// i.e. the view writes really landed in arena memory.
+	again := view.Slice[obj](a.Page(2), n)
+	for i := range again {
+		if again[i].Key != uint64(i)*3 || again[i].Gen != uint32(i) || again[i].Data[5] != ^uint64(i) {
+			t.Fatalf("object %d did not round-trip: %+v", i, again[i])
+		}
+	}
+	// And neighbouring frames stayed untouched.
+	for _, idx := range []int{1, 3} {
+		for i, b := range a.Page(idx) {
+			if b != 0 {
+				t.Fatalf("typed writes to frame 2 leaked into frame %d byte %d", idx, i)
+			}
+		}
+	}
+}
+
+// testTypedViewStaysInFrame drives random typed writes through views at
+// random offsets and checks no write ever escapes the frame — the
+// deterministic twin of FuzzViewStaysInFrame.
+func testTypedViewStaysInFrame(t *testing.T, backend string) {
+	a := newArena(t, backend, 3)
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		frame := a.Page(1)
+		switch rng.Intn(3) {
+		case 0:
+			off := rng.Intn(memarena.PageSize-8+1) &^ 7
+			*view.At[uint64](frame, off) = rng.Uint64()
+		case 1:
+			off := rng.Intn(memarena.PageSize-4+1) &^ 3
+			*view.At[uint32](frame, off) = rng.Uint32()
+		case 2:
+			n := rng.Intn(view.Fits[obj](frame)) + 1
+			s := view.Slice[obj](frame, n)
+			s[n-1].Key = rng.Uint64()
+		}
+		if iter%97 == 0 {
+			for _, idx := range []int{0, 2} {
+				for i, b := range a.Page(idx) {
+					if b != 0 {
+						t.Fatalf("iter %d: write escaped into frame %d byte %d", iter, idx, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func testAccountingParity(t *testing.T, backend string) {
+	// The same Acquire/Release schedule must produce identical
+	// used/peak series on every backend (accounting is backend-blind).
+	schedule := []int{3, 5, -4, 2, -6, 7, -7}
+	a := newArena(t, backend, 16)
+	h := newArena(t, "heap", 16)
+	for i, n := range schedule {
+		for _, ar := range []*memarena.Arena{a, h} {
+			if n >= 0 {
+				ar.Acquire(n)
+			} else {
+				ar.Release(-n)
+			}
+		}
+		if a.UsedPages() != h.UsedPages() || a.PeakPages() != h.PeakPages() {
+			t.Fatalf("step %d: %s used=%d peak=%d vs heap used=%d peak=%d",
+				i, backend, a.UsedPages(), a.PeakPages(), h.UsedPages(), h.PeakPages())
+		}
+	}
+	if a.UsedPages() != 0 || a.PeakPages() != 8 {
+		t.Fatalf("final used=%d peak=%d, want 0/8", a.UsedPages(), a.PeakPages())
+	}
+}
+
+func testCloseReleases(t *testing.T, backend string) {
+	a, err := memarena.NewBackend(backend, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.Fill(a.Page(0), 0x42)
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Page after Close did not panic")
+		}
+	}()
+	a.Page(0)
+}

@@ -174,6 +174,77 @@ func TestSamplerObservesChanges(t *testing.T) {
 	}
 }
 
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	found := false
+	for _, n := range names {
+		if n == "heap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Backends() = %v, missing %q", names, "heap")
+	}
+	if !BackendAvailable("heap") {
+		t.Fatal("heap backend not available")
+	}
+	if BackendAvailable("no-such-backend") {
+		t.Fatal("nonexistent backend reported available")
+	}
+	if _, err := NewBackend("no-such-backend", 4); err == nil {
+		t.Fatal("NewBackend with unknown name did not error")
+	}
+}
+
+func TestNewBackendDefaultsToHeap(t *testing.T) {
+	a, err := NewBackend("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if got := a.Backend(); got != "heap" {
+		t.Fatalf("Backend() = %q, want heap", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	for _, backend := range Backends() {
+		a, err := NewBackend(backend, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("%s: first Close: %v", backend, err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("%s: second Close: %v", backend, err)
+		}
+	}
+}
+
+func TestPageAccessAfterClosePanics(t *testing.T) {
+	for _, backend := range Backends() {
+		a, err := NewBackend(backend, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		a.Close()
+		for name, fn := range map[string]func(){
+			"Page":  func() { a.Page(0) },
+			"Range": func() { a.Range(0, 2) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: %s after Close did not panic", backend, name)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}
+
 func TestConcurrentAccounting(t *testing.T) {
 	const workers, perWorker = 8, 100
 	a := New(workers * perWorker)

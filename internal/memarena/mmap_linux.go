@@ -1,0 +1,32 @@
+//go:build linux
+
+package memarena
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// The mmap backend obtains the arena from the kernel as one anonymous
+// private mapping: real memory outside the Go heap. The garbage
+// collector does not account, sweep or pace against it — the heap goal
+// no longer inflates with the arena size, and page-frame costs
+// (first-touch faults, memsets) are hardware costs rather than runtime
+// artifacts. MAP_ANONYMOUS memory is zero-filled on first touch, which
+// is exactly the freshness invariant pagealloc's known-zero seeding
+// assumes.
+//
+// Unlike the heap backend the mapping is invisible to the runtime, so
+// nothing reclaims it when the Arena is dropped: Close (munmap) is
+// mandatory, and System.Close / bench.Stack.Close call it.
+func init() {
+	registerBackend("mmap", func(size int) ([]byte, func([]byte) error, error) {
+		b, err := syscall.Mmap(-1, 0, size,
+			syscall.PROT_READ|syscall.PROT_WRITE,
+			syscall.MAP_ANONYMOUS|syscall.MAP_PRIVATE)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmap(%d bytes): %w", size, err)
+		}
+		return b, syscall.Munmap, nil
+	})
+}

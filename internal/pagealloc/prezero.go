@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"prudence/internal/fault"
+	"prudence/internal/view"
 )
 
 // IdleScheduler dispatches work to per-vCPU idle workers. It is
@@ -78,10 +79,7 @@ func (z *Zeroer) run() {
 	// window that alloc's bounded wait must survive.
 	//prudence:fault_point
 	fault.Sleep(fault.PageZeroStall)
-	b := z.a.Bytes(r)
-	for i := range b {
-		b[i] = 0
-	}
+	view.Zero(z.a.Bytes(r))
 	z.a.reinsertZeroed(r)
 	z.schedule()
 }

@@ -112,6 +112,7 @@ func TestZeroInFlightBlocksSpuriousOOM(t *testing.T) {
 // the zero pool, and the laundered memory is actually zero.
 func TestPreZeroLaunders(t *testing.T) {
 	arena := memarena.New(16)
+	defer arena.Close()
 	a := New(arena)
 	m := vcpu.NewMachine(2)
 	defer m.Stop()
@@ -167,6 +168,7 @@ func TestPreZeroLaunders(t *testing.T) {
 func TestPropertyConcurrentNoDoubleAllocAndFullCoalesce(t *testing.T) {
 	const pages = 512
 	arena := memarena.New(pages)
+	defer arena.Close()
 	a := New(arena)
 	initial := a.FreeBlockCounts()
 	m := vcpu.NewMachine(4)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"prudence/internal/memarena"
+	"prudence/internal/view"
 )
 
 // RedZoneSize is the number of guard bytes placed on each side of every
@@ -259,9 +260,7 @@ func (s *Slab) paintRedZones() {
 	stride := s.objSize + 2*s.pad
 	for idx := 0; idx < s.cap; idx++ {
 		off := s.color + idx*stride
-		for i := 0; i < s.pad; i++ {
-			s.base[off+i] = RedZoneByte
-			s.base[off+s.pad+s.objSize+i] = RedZoneByte
-		}
+		view.Fill(s.base[off:off+s.pad], RedZoneByte)
+		view.Fill(s.base[off+s.pad+s.objSize:off+stride], RedZoneByte)
 	}
 }

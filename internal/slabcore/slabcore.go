@@ -18,6 +18,7 @@ import (
 	"prudence/internal/rcu"
 	"prudence/internal/stats"
 	"prudence/internal/trace"
+	"prudence/internal/view"
 )
 
 // PoisonByte fills freed objects when CacheConfig.Poison is set, so that
@@ -229,6 +230,23 @@ func (r Ref) Bytes() []byte {
 	return s.base[off : off+s.objSize : off+s.objSize]
 }
 
+// ViewOf returns a typed view of the object's memory. With the mmap
+// arena backend object bytes live outside the Go heap, so T must be
+// pointer-free (view.Of enforces this) and must fit the cache's object
+// size. This — not a hand-rolled unsafe cast — is the supported way to
+// store structured data in slab objects; prudence-vet's arenaunsafe
+// analyzer rejects direct unsafe access everywhere outside
+// internal/view.
+func ViewOf[T any](r Ref) *T {
+	return view.Of[T](r.Bytes())
+}
+
+// SliceOf returns the object's memory as a typed slice of n Ts, with
+// the same constraints as ViewOf.
+func SliceOf[T any](r Ref, n int) []T {
+	return view.Slice[T](r.Bytes(), n)
+}
+
 // PopFree removes one object from the slab freelist. Caller must hold
 // the node lock and ensure FreeCount() > 0.
 //
@@ -275,10 +293,7 @@ func (s *Slab) PushLatent(idx uint32, cookie rcu.Cookie) {
 //
 //prudence:requires Node
 func (s *Slab) poisonObject(idx uint32) {
-	b := (Ref{Slab: s, Idx: idx}).Bytes()
-	for i := range b {
-		b[i] = PoisonByte
-	}
+	view.Fill((Ref{Slab: s, Idx: idx}).Bytes(), PoisonByte)
 }
 
 // Reconcile promotes latent objects whose grace period has elapsed onto
@@ -635,9 +650,7 @@ func (b *Base) NewSlab(n *Node) (*Slab, error) {
 	// When the run came from the known-zero pool the cost was already
 	// paid by an idle worker, so the grow path skips it.
 	if !zeroed {
-		for i := range base {
-			base[i] = 0
-		}
+		view.Zero(base)
 	}
 	s := &Slab{
 		run:     run,

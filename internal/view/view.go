@@ -1,0 +1,148 @@
+// Package view is the typed-access layer over raw arena bytes — and the
+// only package in the module allowed to reach arena memory through
+// package unsafe (enforced by prudence-vet's arenaunsafe analyzer).
+//
+// With the mmap arena backend (see internal/memarena), object memory
+// lives outside the Go heap: the garbage collector neither scans nor
+// tracks it. Two hazards follow, and this package's job is to make both
+// unrepresentable for its callers:
+//
+//   - A Go pointer stored into off-heap memory is invisible to the GC;
+//     the pointee can be collected while the "reference" still reads
+//     back, yielding a use-after-free no race detector will attribute.
+//     Of therefore rejects any T containing pointers (pointers, maps,
+//     chans, funcs, slices, strings, interfaces) at first use.
+//   - An unsafe.Pointer cast with the wrong size or alignment reads or
+//     writes beyond the frame, or tears on architectures that trap on
+//     misaligned access. Of bounds- and alignment-checks every view
+//     before the cast.
+//
+// Violations panic: like the arena's own bounds checks they are
+// construction bugs in the calling allocator layer, not runtime
+// conditions to degrade through.
+package view
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// ptrFree caches, per concrete type, whether the type is free of
+// GC-visible pointers. Read-mostly: every type is decided exactly once.
+var ptrFree sync.Map // reflect.Type → bool
+
+// hasPointers reports whether t contains any GC-visible pointer.
+func hasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return t.Len() > 0 && hasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Ptr, UnsafePointer, Map, Chan, Func, Slice, String, Interface —
+		// everything else the reflect kind space offers holds a pointer.
+		return true
+	}
+}
+
+// checkPointerFree panics unless T carries no GC-visible pointers.
+func checkPointerFree[T any]() {
+	t := reflect.TypeFor[T]()
+	if ok, hit := ptrFree.Load(t); hit {
+		if !ok.(bool) {
+			panic(fmt.Sprintf("view: type %v contains Go pointers and cannot live in arena memory (the GC does not scan the arena)", t))
+		}
+		return
+	}
+	free := !hasPointers(t)
+	ptrFree.Store(t, free)
+	if !free {
+		panic(fmt.Sprintf("view: type %v contains Go pointers and cannot live in arena memory (the GC does not scan the arena)", t))
+	}
+}
+
+// Of returns a typed view of the start of b. It panics if T contains
+// pointers, if b is shorter than T, or if b's start is misaligned for T.
+// The returned pointer aliases b's backing memory: writes through it are
+// writes into the frame.
+func Of[T any](b []byte) *T {
+	return At[T](b, 0)
+}
+
+// At returns a typed view of b at byte offset off, with the same checks
+// as Of.
+func At[T any](b []byte, off int) *T {
+	checkPointerFree[T]()
+	size := int(unsafe.Sizeof(*new(T)))
+	if off < 0 || size > len(b)-off {
+		panic(fmt.Sprintf("view: %v (%d bytes) at offset %d does not fit in %d-byte frame",
+			reflect.TypeFor[T](), size, off, len(b)))
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b[off:]))
+	if align := unsafe.Alignof(*new(T)); uintptr(p)%align != 0 {
+		panic(fmt.Sprintf("view: %v requires %d-byte alignment; frame offset %d sits at %#x",
+			reflect.TypeFor[T](), align, off, uintptr(p)))
+	}
+	return (*T)(p)
+}
+
+// Slice returns a typed view of b as a slice of n Ts, with the same
+// pointer-freedom, bounds and alignment checks as Of.
+func Slice[T any](b []byte, n int) []T {
+	checkPointerFree[T]()
+	size := int(unsafe.Sizeof(*new(T)))
+	if n < 0 || (n > 0 && (size == 0 || n > len(b)/size)) {
+		panic(fmt.Sprintf("view: %d×%v (%d bytes each) does not fit in %d-byte frame",
+			n, reflect.TypeFor[T](), size, len(b)))
+	}
+	if n == 0 {
+		return nil
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if align := unsafe.Alignof(*new(T)); uintptr(p)%align != 0 {
+		panic(fmt.Sprintf("view: %v requires %d-byte alignment; frame base sits at %#x",
+			reflect.TypeFor[T](), align, uintptr(p)))
+	}
+	return unsafe.Slice((*T)(p), n)
+}
+
+// Fits reports how many Ts fit in b. It performs the pointer-freedom
+// check so callers can size a Slice call without duplicating layout
+// arithmetic.
+func Fits[T any](b []byte) int {
+	checkPointerFree[T]()
+	size := int(unsafe.Sizeof(*new(T)))
+	if size == 0 {
+		return 0
+	}
+	return len(b) / size
+}
+
+// Zero clears b. It is the module's one memset: routing all arena
+// zeroing (slab grow, idle pre-zeroing, poison clears) through here
+// keeps the cost attributable and the loop in one place for the
+// compiler's memclr pattern match.
+func Zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Fill sets every byte of b to v (the poison pattern writer).
+func Fill(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}

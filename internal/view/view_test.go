@@ -1,0 +1,140 @@
+package view
+
+import (
+	"testing"
+	"unsafe"
+)
+
+type header struct {
+	Ino  uint64
+	Size uint64
+	Gen  uint32
+	Flag uint8
+}
+
+type pointery struct {
+	N    uint64
+	Next *pointery
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestOfRoundTrip(t *testing.T) {
+	b := make([]byte, 64)
+	h := Of[header](b)
+	h.Ino = 0xDEADBEEF
+	h.Size = 4096
+	h.Gen = 7
+	h.Flag = 1
+	// The view aliases the frame: a second view sees the same values.
+	g := Of[header](b)
+	if g.Ino != 0xDEADBEEF || g.Size != 4096 || g.Gen != 7 || g.Flag != 1 {
+		t.Fatalf("second view read %+v", *g)
+	}
+	// And the raw bytes changed.
+	nonZero := false
+	for _, x := range b[:int(unsafe.Sizeof(header{}))] {
+		if x != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("writing through the view left the frame all-zero")
+	}
+}
+
+func TestAtOffset(t *testing.T) {
+	b := make([]byte, 64)
+	*At[uint64](b, 8) = 42
+	if got := *At[uint64](b, 8); got != 42 {
+		t.Fatalf("At(8) = %d, want 42", got)
+	}
+	if got := *At[uint64](b, 0); got != 0 {
+		t.Fatalf("At(0) = %d, want 0 (offset write leaked)", got)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	b := make([]byte, 16)
+	mustPanic(t, "Of too small", func() { Of[[32]byte](b) })
+	mustPanic(t, "At negative", func() { At[uint64](b, -1) })
+	mustPanic(t, "At past end", func() { At[uint64](b, 9) })
+	mustPanic(t, "Slice too many", func() { Slice[uint64](b, 3) })
+	mustPanic(t, "Slice negative", func() { Slice[uint64](b, -1) })
+	// Exactly at the end is fine.
+	*At[uint64](b, 8) = 1
+	if s := Slice[uint64](b, 2); len(s) != 2 || s[1] != 1 {
+		t.Fatalf("Slice = %v", s)
+	}
+}
+
+func TestAlignmentCheck(t *testing.T) {
+	b := make([]byte, 64)
+	// make([]byte) is 8-aligned in practice; offset by 1 to misalign.
+	mustPanic(t, "misaligned", func() { At[uint64](b, 1) })
+}
+
+func TestPointerfulTypesRejected(t *testing.T) {
+	b := make([]byte, 64)
+	mustPanic(t, "struct with pointer", func() { Of[pointery](b) })
+	mustPanic(t, "raw pointer", func() { Of[*int](b) })
+	mustPanic(t, "string", func() { Of[string](b) })
+	mustPanic(t, "slice", func() { Of[[]byte](b) })
+	mustPanic(t, "map", func() { Of[map[int]int](b) })
+	mustPanic(t, "array of pointers", func() { Of[[2]*int](b) })
+	mustPanic(t, "Slice of pointers", func() { Slice[*int](b, 1) })
+	// Rejection is sticky (cached) and repeatable.
+	mustPanic(t, "struct with pointer again", func() { Of[pointery](b) })
+}
+
+func TestPointerFreeTypesAccepted(t *testing.T) {
+	b := make([]byte, 64)
+	Of[uint64](b)
+	Of[[8]uint32](b)
+	Of[header](b)
+	Of[struct{ A, B float64 }](b)
+}
+
+func TestFits(t *testing.T) {
+	b := make([]byte, 64)
+	if n := Fits[uint64](b); n != 8 {
+		t.Fatalf("Fits[uint64] = %d, want 8", n)
+	}
+	if n := Fits[header](b); n != 64/int(unsafe.Sizeof(header{})) {
+		t.Fatalf("Fits[header] = %d", n)
+	}
+	mustPanic(t, "Fits pointerful", func() { Fits[*int](b) })
+}
+
+func TestZeroAndFill(t *testing.T) {
+	b := make([]byte, 33)
+	Fill(b, 0xA5)
+	for i, x := range b {
+		if x != 0xA5 {
+			t.Fatalf("Fill missed byte %d", i)
+		}
+	}
+	Zero(b)
+	for i, x := range b {
+		if x != 0 {
+			t.Fatalf("Zero missed byte %d", i)
+		}
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	b := make([]byte, 64)
+	s := Slice[uint32](b, 16)
+	s[3] = 0x01020304
+	if *At[uint32](b, 12) != 0x01020304 {
+		t.Fatal("Slice does not alias the frame")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"prudence/internal/slabcore"
 	gsync "prudence/internal/sync"
 	"prudence/internal/vcpu"
+	"prudence/internal/view"
 )
 
 // Env bundles the substrate a workload runs on. Sync is the
@@ -80,7 +81,7 @@ func RunMicro(env Env, cache alloc.Cache, pairsPerCPU int) MicroResult {
 				env.Sync.SynchronizeOn(cpu)
 				ref, err = cache.Malloc(cpu)
 			}
-			ref.Bytes()[0] = byte(i) // touch the object
+			*view.Of[byte](ref.Bytes()) = byte(i) // touch the object
 			cache.FreeDeferred(cpu, ref)
 			env.Sync.QuiescentState(cpu)
 		}
@@ -388,7 +389,7 @@ func RunApp(env Env, a alloc.Allocator, p AppProfile, txnsPerCPU int) (AppResult
 						errMu.Unlock()
 						return
 					}
-					ref.Bytes()[0] = byte(txn)
+					*view.Of[byte](ref.Bytes()) = byte(txn)
 					queues[mi] = append(queues[mi], held{ref: ref, release: txn + m.HoldTxns})
 				}
 			}

@@ -35,6 +35,7 @@ package prudence
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"prudence/internal/alloc"
@@ -51,6 +52,7 @@ import (
 	gsync "prudence/internal/sync"
 	"prudence/internal/trace"
 	"prudence/internal/vcpu"
+	"prudence/internal/view"
 
 	// The built-in reclamation backends register themselves with the
 	// internal/sync scheme registry from their init functions; external
@@ -63,6 +65,32 @@ import (
 
 // AllocatorKind selects which allocator a System uses.
 type AllocatorKind string
+
+// ArenaKind selects the backing store behind the simulated physical
+// memory.
+type ArenaKind string
+
+// Available arena backends. Config.Arena resolves any backend
+// registered with internal/memarena on this platform; see Arenas.
+const (
+	// ArenaHeap backs the arena with one GC-visible Go allocation — the
+	// portable default. The Go runtime accounts and paces against the
+	// arena, so GC activity pollutes memory-behaviour measurements at
+	// large arena sizes.
+	ArenaHeap ArenaKind = "heap"
+	// ArenaMmap (linux only) backs the arena with an anonymous mmap
+	// outside the Go heap: the GC never sees the arena, page-frame
+	// costs are hardware costs, and System.Close unmaps it.
+	ArenaMmap ArenaKind = "mmap"
+)
+
+// ArenaEnv is the environment variable consulted when Config.Arena is
+// empty, so benchmarks and CI can switch backends without code changes.
+const ArenaEnv = "PRUDENCE_ARENA"
+
+// Arenas lists the arena backends available on this platform, sorted;
+// each is a valid Config.Arena value.
+func Arenas() []string { return memarena.Backends() }
 
 // ReclamationKind selects the procrastination-based synchronization
 // mechanism detecting reader completion.
@@ -133,6 +161,22 @@ type Config struct {
 	// every cache (rounded up to a power of two). Zero uses the default
 	// of 4096 events; a negative value disables tracing entirely.
 	TraceRingSize int
+	// Arena selects the memory backend behind the simulated arena by
+	// registered backend name (see Arenas). Empty consults the
+	// PRUDENCE_ARENA environment variable, then defaults to "heap".
+	Arena ArenaKind
+}
+
+// arenaName resolves the effective arena backend: explicit Config value,
+// then the PRUDENCE_ARENA environment variable, then the default.
+func (cfg Config) arenaName() string {
+	if cfg.Arena != "" {
+		return string(cfg.Arena)
+	}
+	if env := os.Getenv(ArenaEnv); env != "" {
+		return env
+	}
+	return memarena.DefaultBackend
 }
 
 // Validate reports the first configuration error, or nil if cfg (with
@@ -152,6 +196,10 @@ func (cfg Config) Validate() error {
 	if cfg.Reclamation != "" && !gsync.Registered(string(cfg.Reclamation)) {
 		return fmt.Errorf("prudence: unknown reclamation kind %q (registered: %v)",
 			cfg.Reclamation, gsync.Backends())
+	}
+	if name := cfg.arenaName(); !memarena.BackendAvailable(name) {
+		return fmt.Errorf("prudence: unknown arena backend %q (available: %v)",
+			name, memarena.Backends())
 	}
 	return nil
 }
@@ -199,7 +247,11 @@ func New(cfg Config) (*System, error) {
 		cfg.Reclamation = RCU
 	}
 	s := &System{reg: metrics.NewRegistry()}
-	s.arena = memarena.New(cfg.MemoryPages)
+	arena, err := memarena.NewBackend(cfg.arenaName(), cfg.MemoryPages)
+	if err != nil {
+		return nil, fmt.Errorf("prudence: %w", err)
+	}
+	s.arena = arena
 	s.pages = pagealloc.New(s.arena)
 	s.machine = vcpu.NewMachine(cfg.CPUs)
 	s.zeroer = pagealloc.StartPreZero(s.pages, s.machine)
@@ -218,6 +270,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		s.zeroer.Stop()
 		s.machine.Stop()
+		s.arena.Close()
 		return nil, err
 	}
 	s.sync = backend
@@ -254,12 +307,19 @@ func MustNew(cfg Config) *System {
 	return s
 }
 
-// Close stops the System's background goroutines.
+// Close stops the System's background goroutines and releases the
+// arena's backing store. With the mmap arena this unmaps the memory, so
+// no Object or Bytes slice obtained from the system may be touched
+// after Close. Close is idempotent.
 func (s *System) Close() {
 	s.zeroer.Stop()
 	s.sync.Stop()
 	s.machine.Stop()
+	s.arena.Close()
 }
+
+// ArenaName reports which memory backend is behind this system's arena.
+func (s *System) ArenaName() string { return s.arena.Backend() }
 
 // NumCPU returns the number of virtual CPUs.
 func (s *System) NumCPU() int { return s.machine.NumCPU() }
@@ -369,6 +429,18 @@ func (o Object) IsZero() bool { return o.ref.IsZero() }
 // may be read until the surrounding read-side critical section ends,
 // per RCU rules).
 func (o Object) Bytes() []byte { return o.ref.Bytes() }
+
+// View returns a typed view of the object's memory: a *T aliasing the
+// same arena bytes as o.Bytes(). T must be free of Go pointers and fit
+// the cache's object size; violations panic (they are layout bugs in
+// the caller, and — with the mmap arena — pointer-bearing types would
+// hide references from the garbage collector). The lifetime rules of
+// Bytes apply unchanged.
+func View[T any](o Object) *T { return view.Of[T](o.Bytes()) }
+
+// ViewSlice returns the object's memory as a slice of n Ts, with the
+// same constraints as View.
+func ViewSlice[T any](o Object, n int) []T { return view.Slice[T](o.Bytes(), n) }
 
 // CacheStats is a snapshot of a cache's counters, matching the
 // attributes reported in the paper's evaluation.
