@@ -4,12 +4,19 @@
 //	lockorder   — ascending lock-rank acquisition order
 //	guardedby   — guarded fields accessed only under their lock
 //	atomicalign — 64-bit atomic alignment and padded struct sizes
-//	rcucheck    — read-side RCU pointer access, no use after FreeDeferred
+//	rcucheck    — read-side RCU pointer access and fault-point annotations
+//	sleepcheck  — no may-block calls under read locks or spin locks
+//	retirecheck — no double retire or touch-after-retire through helpers
 //	arenaunsafe — pointer-forging unsafe confined to internal/view
 //
 // Usage:
 //
 //	go run ./cmd/prudence-vet ./...
+//	go run ./cmd/prudence-vet -sarif out.sarif -stats ./...
+//
+// Findings can be suppressed per line with an auditable
+// //prudence:nolint:<analyzer> <reason> comment; a suppression that no
+// longer matches a finding is itself reported (analyzer "nolint").
 //
 // Exit status is 0 when clean, 1 when any analyzer reports a finding,
 // and 2 on load/configuration errors (including malformed //prudence:
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"prudence/internal/analysis"
 	"prudence/internal/analysis/arenaunsafe"
@@ -29,6 +37,9 @@ import (
 	"prudence/internal/analysis/guardedby"
 	"prudence/internal/analysis/lockorder"
 	"prudence/internal/analysis/rcucheck"
+	"prudence/internal/analysis/retirecheck"
+	"prudence/internal/analysis/sarif"
+	"prudence/internal/analysis/sleepcheck"
 )
 
 var all = []*analysis.Analyzer{
@@ -36,14 +47,22 @@ var all = []*analysis.Analyzer{
 	guardedby.Analyzer,
 	atomicalign.Analyzer,
 	rcucheck.Analyzer,
+	sleepcheck.Analyzer,
+	retirecheck.Analyzer,
 	arenaunsafe.Analyzer,
 }
 
 func main() {
-	var only string
+	var (
+		only      string
+		sarifPath string
+		stats     bool
+	)
 	flag.StringVar(&only, "run", "", "comma-separated analyzer names to run (default: all)")
+	flag.StringVar(&sarifPath, "sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	flag.BoolVar(&stats, "stats", false, "print load/summary/analyzer timing and package counts to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prudence-vet [-run analyzers] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: prudence-vet [-run analyzers] [-sarif out.sarif] [-stats] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -93,7 +112,54 @@ func main() {
 	for _, f := range findings {
 		fmt.Printf("%s\n", f)
 	}
+
+	if sarifPath != "" {
+		f, err := os.Create(sarifPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudence-vet: %v\n", err)
+			os.Exit(2)
+		}
+		werr := sarif.Write(f, analyzers, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "prudence-vet: writing %s: %v\n", sarifPath, werr)
+			os.Exit(2)
+		}
+	}
+
+	if stats {
+		printStats(load)
+	}
+
 	if len(findings) > 0 {
 		os.Exit(1)
+	}
+}
+
+func printStats(load *driver.Load) {
+	s := load.Stats
+	fmt.Fprintf(os.Stderr, "prudence-vet stats:\n")
+	fmt.Fprintf(os.Stderr, "  packages loaded:   %d (%d targets)\n", s.Packages, s.Targets)
+	fmt.Fprintf(os.Stderr, "  functions summarized: %d\n", s.Functions)
+	fmt.Fprintf(os.Stderr, "  load+typecheck:    %v\n", s.Load.Round(timeUnit(s.Load)))
+	fmt.Fprintf(os.Stderr, "  effect summaries:  %v\n", s.Summaries.Round(timeUnit(s.Summaries)))
+	// Stable order: the registration order of the analyzers that ran.
+	for _, a := range all {
+		if d, ok := s.Analyzers[a.Name]; ok {
+			fmt.Fprintf(os.Stderr, "  %-18s %v\n", a.Name+":", d.Round(timeUnit(d)))
+		}
+	}
+}
+
+func timeUnit(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return 10 * time.Millisecond
+	case d >= time.Millisecond:
+		return 10 * time.Microsecond
+	default:
+		return time.Microsecond
 	}
 }

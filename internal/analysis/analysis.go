@@ -17,6 +17,7 @@ import (
 	"go/types"
 
 	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/summary"
 )
 
 // Analyzer describes one static check.
@@ -48,6 +49,13 @@ type Pass struct {
 	// while analyzing core even though core imports slabcore via export
 	// data.
 	Directives *annot.Table
+
+	// Summaries is the module-wide per-function effect summary set,
+	// computed over every module-local package in the load's dependency
+	// graph and propagated to fixpoint over call-graph SCCs. Analyzers
+	// consult it to see lock, read-side, blocking and retire effects
+	// across function (and package) boundaries.
+	Summaries *summary.Set
 
 	// Report delivers one diagnostic. The driver sets it.
 	Report func(Diagnostic)

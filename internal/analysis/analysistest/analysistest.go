@@ -17,6 +17,7 @@ package analysistest
 
 import (
 	"fmt"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -42,6 +43,20 @@ func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 	}
 	for _, d := range load.DirectiveErrs {
 		t.Errorf("malformed directive: %s", d)
+	}
+
+	// Analyze the whole fixture closure, not just the named packages: a
+	// cross-package fixture's imported testdata packages carry // want
+	// comments of their own, and diagnostics against them must be
+	// asserted, not dropped.
+	inTargets := make(map[string]bool, len(load.Targets))
+	for _, pkg := range load.Targets {
+		inTargets[pkg.ImportPath] = true
+	}
+	for _, pkg := range load.Local {
+		if !inTargets[pkg.ImportPath] && strings.Contains(pkg.ImportPath, "/testdata/") {
+			load.Targets = append(load.Targets, pkg)
+		}
 	}
 
 	want := make(map[string][]*expectation) // "file:line" → expectations
@@ -87,6 +102,37 @@ func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 				t.Errorf("%s: no diagnostic matching %q", key, exp.re)
 			}
 		}
+	}
+}
+
+// RunSummaryGolden loads the single package matching pattern, renders
+// the computed effect summaries of every function in its testdata
+// closure, and diffs the result against the golden file. Run with
+// PRUDENCE_UPDATE_GOLDEN=1 to rewrite the golden after an intentional
+// change.
+func RunSummaryGolden(t *testing.T, goldenPath string, pattern string) {
+	t.Helper()
+	load, err := driver.LoadPackages(".", []string{pattern})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	var b strings.Builder
+	for _, pkg := range load.Targets {
+		b.WriteString(load.Summaries.Render(pkg.ImportPath + "."))
+	}
+	got := b.String()
+	if os.Getenv("PRUDENCE_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with PRUDENCE_UPDATE_GOLDEN=1 to create it): %v", err)
+	}
+	if got != string(wantBytes) {
+		t.Errorf("summaries diverge from %s (PRUDENCE_UPDATE_GOLDEN=1 to accept):\n--- got ---\n%s--- want ---\n%s", goldenPath, got, wantBytes)
 	}
 }
 

@@ -63,6 +63,8 @@ const (
 	VerbRCURead    = "rcu_read"
 	VerbNoCheck    = "nocheck"
 	VerbFaultPoint = "fault_point"
+	VerbMayBlock   = "may_block"
+	VerbNoLint     = "nolint"
 )
 
 const prefix = "//prudence:"
@@ -73,6 +75,10 @@ type Class struct {
 	// "pkgpath.Type.field" for one declared on a struct field.
 	Key  string
 	Rank int
+	// Spin marks a spin-class lock (owner-core CAS locks, the buddy
+	// shard locks): acquisition never sleeps, and sleepcheck forbids
+	// blocking operations while one is held.
+	Spin bool
 	Pos  token.Pos
 }
 
@@ -86,10 +92,11 @@ type RCUPtr struct {
 // Table is the module-wide annotation index, keyed by qualified names
 // so it can be consulted for types the analyzed package only imports.
 type Table struct {
-	classes map[string]*Class // "pkg.Type" / "pkg.Type.field" → class
-	guards  map[string]string // "pkg.Type.field" → guard spec
-	rcuPtrs map[string]RCUPtr // "pkg.Type.field" → rcu pointer info
-	padded  map[string]int    // "pkg.Type" → required 64-bit size
+	classes map[string]*Class      // "pkg.Type" / "pkg.Type.field" → class
+	guards  map[string]string      // "pkg.Type.field" → guard spec
+	rcuPtrs map[string]RCUPtr      // "pkg.Type.field" → rcu pointer info
+	padded  map[string]int         // "pkg.Type" → required 64-bit size
+	funcs   map[string][]Directive // "pkg.Func" / "pkg.Type.Method" → directives
 }
 
 // NewTable returns an empty table.
@@ -99,7 +106,21 @@ func NewTable() *Table {
 		guards:  make(map[string]string),
 		rcuPtrs: make(map[string]RCUPtr),
 		padded:  make(map[string]int),
+		funcs:   make(map[string][]Directive),
 	}
+}
+
+// parseLockOrder parses a lockorder directive's args: "<rank> [spin]".
+func parseLockOrder(args string) (rank int, spin bool, err error) {
+	fields := strings.Fields(args)
+	switch {
+	case len(fields) == 0:
+		return 0, false, fmt.Errorf("missing rank")
+	case len(fields) > 2, len(fields) == 2 && fields[1] != "spin":
+		return 0, false, fmt.Errorf("want \"<rank> [spin]\", got %q", args)
+	}
+	rank, err = strconv.Atoi(fields[0])
+	return rank, len(fields) == 2, err
 }
 
 // AddPackage indexes every //prudence: annotation on types and fields
@@ -113,6 +134,12 @@ func (t *Table) AddPackage(pkgPath string, files []*ast.File) []error {
 	}
 	for _, f := range files {
 		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if ds := Parse(fd.Doc); len(ds) > 0 {
+					t.funcs[funcDeclKey(pkgPath, fd)] = append(t.funcs[funcDeclKey(pkgPath, fd)], ds...)
+				}
+				continue
+			}
 			gd, ok := decl.(*ast.GenDecl)
 			if !ok || gd.Tok != token.TYPE {
 				continue
@@ -130,12 +157,12 @@ func (t *Table) AddPackage(pkgPath string, files []*ast.File) []error {
 				for _, d := range Parse(docs...) {
 					switch d.Verb {
 					case VerbLockOrder:
-						rank, err := strconv.Atoi(strings.TrimSpace(d.Args))
+						rank, spin, err := parseLockOrder(d.Args)
 						if err != nil {
-							fail(d.Pos, "prudence:lockorder on %s: rank %q is not an integer", typeKey, d.Args)
+							fail(d.Pos, "prudence:lockorder on %s: %v", typeKey, err)
 							continue
 						}
-						t.classes[typeKey] = &Class{Key: typeKey, Rank: rank, Pos: d.Pos}
+						t.classes[typeKey] = &Class{Key: typeKey, Rank: rank, Spin: spin, Pos: d.Pos}
 					case VerbPadded:
 						n, err := strconv.Atoi(strings.TrimSpace(d.Args))
 						if err != nil || n <= 0 {
@@ -147,6 +174,20 @@ func (t *Table) AddPackage(pkgPath string, files []*ast.File) []error {
 						fail(d.Pos, "prudence:%s is a field annotation; it cannot apply to type %s", d.Verb, typeKey)
 					}
 				}
+				if it, ok := ts.Type.(*ast.InterfaceType); ok && it.Methods != nil {
+					// Interface method declarations carry caller-facing
+					// contracts (may_block on Backend.Synchronize binds
+					// every call through the interface).
+					for _, m := range it.Methods.List {
+						for _, name := range m.Names {
+							key := typeKey + "." + name.Name
+							if ds := Parse(m.Doc, m.Comment); len(ds) > 0 {
+								t.funcs[key] = append(t.funcs[key], ds...)
+							}
+						}
+					}
+					continue
+				}
 				st, ok := ts.Type.(*ast.StructType)
 				if !ok || st.Fields == nil {
 					continue
@@ -157,12 +198,12 @@ func (t *Table) AddPackage(pkgPath string, files []*ast.File) []error {
 							fieldKey := typeKey + "." + name.Name
 							switch d.Verb {
 							case VerbLockOrder:
-								rank, err := strconv.Atoi(strings.TrimSpace(d.Args))
+								rank, spin, err := parseLockOrder(d.Args)
 								if err != nil {
-									fail(d.Pos, "prudence:lockorder on %s: rank %q is not an integer", fieldKey, d.Args)
+									fail(d.Pos, "prudence:lockorder on %s: %v", fieldKey, err)
 									continue
 								}
-								t.classes[fieldKey] = &Class{Key: fieldKey, Rank: rank, Pos: d.Pos}
+								t.classes[fieldKey] = &Class{Key: fieldKey, Rank: rank, Spin: spin, Pos: d.Pos}
 							case VerbGuardedBy:
 								spec := strings.TrimSpace(d.Args)
 								if spec == "" {
@@ -238,6 +279,9 @@ func (t *Table) ResolveSpec(spec string) []*Class {
 // Directive is one parsed //prudence: comment.
 type Directive struct {
 	Verb string
+	// Sub is the colon-qualified verb argument: for
+	// //prudence:nolint:sleepcheck it is "sleepcheck".
+	Sub  string
 	Args string
 	Pos  token.Pos
 }
@@ -256,7 +300,73 @@ func Parse(groups ...*ast.CommentGroup) []Directive {
 				continue
 			}
 			verb, args, _ := strings.Cut(text, " ")
-			out = append(out, Directive{Verb: strings.TrimSpace(verb), Args: strings.TrimSpace(args), Pos: c.Pos()})
+			verb, sub, _ := strings.Cut(verb, ":")
+			out = append(out, Directive{
+				Verb: strings.TrimSpace(verb),
+				Sub:  strings.TrimSpace(sub),
+				Args: strings.TrimSpace(args),
+				Pos:  c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// funcDeclKey renders the table key for a function declaration:
+// "pkgpath.Func" for a plain function, "pkgpath.Type.Method" for a
+// method (pointer receivers and generic type parameters stripped).
+func funcDeclKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver Type[T]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return pkgPath + "." + id.Name + "." + fd.Name.Name
+			}
+			return pkgPath + "." + fd.Name.Name
+		}
+	}
+}
+
+// FuncDirs returns the directives declared on the function or interface
+// method with the given "pkg.Func" / "pkg.Type.Method" key.
+func (t *Table) FuncDirs(key string) []Directive { return t.funcs[key] }
+
+// FuncMayBlock reports whether the function at key declares
+// //prudence:may_block.
+func (t *Table) FuncMayBlock(key string) bool {
+	for _, d := range t.funcs[key] {
+		if d.Verb == VerbMayBlock {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncRequiresKey returns the lock-class specs from prudence:requires
+// directives on the function at key (the table-indexed, cross-package
+// form of FuncRequires).
+func (t *Table) FuncRequiresKey(key string) []string {
+	var out []string
+	for _, d := range t.funcs[key] {
+		if d.Verb != VerbRequires {
+			continue
+		}
+		for _, part := range strings.FieldsFunc(d.Args, func(r rune) bool { return r == ',' || r == ' ' }) {
+			if part != "" {
+				out = append(out, part)
+			}
 		}
 	}
 	return out

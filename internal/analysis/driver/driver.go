@@ -33,9 +33,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"prudence/internal/analysis"
 	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/summary"
 )
 
 // Package is one type-checked target package.
@@ -57,12 +59,45 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// NoLint is one parsed //prudence:nolint:<analyzer> <reason>
+// suppression comment. It suppresses matching findings on its anchor
+// line: the comment's own line when code shares it, otherwise the line
+// below. A suppression that suppresses nothing is itself reported (a
+// stale nolint is an error), so every exemption stays auditable.
+type NoLint struct {
+	Pos        token.Position
+	ImportPath string
+	Analyzer   string
+	Reason     string
+	// Line is the source line (in Pos.Filename) whose findings the
+	// comment suppresses.
+	Line int
+	used bool
+}
+
+// Stats records load and analysis timing for prudence-vet -stats.
+type Stats struct {
+	Packages  int // module-local packages type-checked
+	Targets   int // packages analyzed
+	Functions int // functions summarized
+	Load      time.Duration
+	Summaries time.Duration
+	Analyzers map[string]time.Duration
+}
+
 // Load is the result of LoadPackages.
 type Load struct {
 	Fset    *token.FileSet
 	Targets []*Package
-	Table   *annot.Table
-	Sizes   types.Sizes
+	// Local is every module-local package in the dependency graph,
+	// targets included, type-checked — the summary computation's input
+	// and the source of cross-package want comments in fixtures.
+	Local     []*Package
+	Table     *annot.Table
+	Summaries *summary.Set
+	NoLints   []*NoLint
+	Sizes     types.Sizes
+	Stats     Stats
 	// DirectiveErrs are malformed //prudence: comments anywhere in the
 	// module-local graph; they should fail the run like a bad build tag.
 	DirectiveErrs []Finding
@@ -100,8 +135,12 @@ func goList(dir string, args ...string) ([]listPkg, error) {
 }
 
 // LoadPackages loads the packages matching patterns, resolved relative
-// to dir, ready for analysis.
+// to dir, ready for analysis. Every module-local package in the
+// dependency graph — not just the targets — is type-checked, so the
+// interprocedural summary pass sees function bodies across the whole
+// module slice in play.
 func LoadPackages(dir string, patterns []string) (*Load, error) {
+	started := time.Now()
 	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
 	if err != nil {
 		return nil, err
@@ -165,11 +204,12 @@ func LoadPackages(dir string, patterns []string) (*Load, error) {
 		return os.Open(file)
 	})
 
-	for _, t := range targets {
-		files, err := parsePkg(t)
-		if err != nil {
-			return nil, err
+	local := make(map[string]*Package)
+	for _, u := range universe {
+		if u.Standard {
+			continue
 		}
+		files := parsed[u.ImportPath]
 		info := &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),
@@ -184,24 +224,106 @@ func LoadPackages(dir string, patterns []string) (*Load, error) {
 			Sizes:    load.Sizes,
 			Error:    func(err error) { typeErrs = append(typeErrs, err) },
 		}
-		pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+		pkg, _ := conf.Check(u.ImportPath, fset, files, info)
 		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, typeErrs[0])
+			return nil, fmt.Errorf("type-checking %s: %v", u.ImportPath, typeErrs[0])
 		}
-		load.Targets = append(load.Targets, &Package{
-			ImportPath: t.ImportPath,
-			Files:      files,
-			Pkg:        pkg,
-			Info:       info,
-		})
+		p := &Package{ImportPath: u.ImportPath, Files: files, Pkg: pkg, Info: info}
+		local[u.ImportPath] = p
+		load.Local = append(load.Local, p)
+		load.collectNoLints(p)
 	}
+
+	for _, t := range targets {
+		p, ok := local[t.ImportPath]
+		if !ok {
+			// A target outside the export universe (shouldn't happen for
+			// buildable patterns); surface it as a load error.
+			return nil, fmt.Errorf("target %s missing from dependency universe", t.ImportPath)
+		}
+		load.Targets = append(load.Targets, p)
+	}
+	load.Stats.Load = time.Since(started)
+
+	sumStart := time.Now()
+	sumPkgs := make([]summary.Pkg, len(load.Local))
+	for i, p := range load.Local {
+		sumPkgs[i] = summary.Pkg{Path: p.ImportPath, Files: p.Files, Info: p.Info}
+	}
+	load.Summaries = summary.Compute(fset, sumPkgs, load.Table)
+	load.Stats.Summaries = time.Since(sumStart)
+	load.Stats.Packages = len(load.Local)
+	load.Stats.Targets = len(load.Targets)
+	load.Stats.Functions = load.Summaries.Len()
 	return load, nil
+}
+
+// collectNoLints indexes every //prudence:nolint:<analyzer> comment in
+// p's files, anchored to the comment's own line when code shares it and
+// to the following line otherwise. Malformed suppressions (no analyzer
+// name, no reason) are directive errors.
+func (l *Load) collectNoLints(p *Package) {
+	for _, f := range p.Files {
+		// Lines holding code: any AST node position outside comments.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil:
+				return false
+			case *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[l.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, d := range annot.Parse(cg) {
+				if d.Verb != annot.VerbNoLint {
+					continue
+				}
+				pos := l.Fset.Position(d.Pos)
+				switch {
+				case d.Sub == "":
+					l.DirectiveErrs = append(l.DirectiveErrs, Finding{
+						Pos:      pos,
+						Message:  "prudence:nolint needs an analyzer: //prudence:nolint:<analyzer> <reason>",
+						Analyzer: "annot",
+					})
+					continue
+				case d.Args == "":
+					l.DirectiveErrs = append(l.DirectiveErrs, Finding{
+						Pos:      pos,
+						Message:  fmt.Sprintf("prudence:nolint:%s needs a reason", d.Sub),
+						Analyzer: "annot",
+					})
+					continue
+				}
+				line := pos.Line
+				if !codeLines[line] {
+					line++ // comment stands alone: it covers the next line
+				}
+				l.NoLints = append(l.NoLints, &NoLint{
+					Pos:        pos,
+					ImportPath: p.ImportPath,
+					Analyzer:   d.Sub,
+					Reason:     d.Args,
+					Line:       line,
+				})
+			}
+		}
+	}
 }
 
 // Run applies each analyzer to each target package and returns the
 // findings in deterministic (position, analyzer, message) order.
+// Findings anchored by a matching //prudence:nolint:<analyzer> comment
+// are suppressed; suppressions that fire on nothing are reported as
+// "nolint" findings in their own right.
 func Run(load *Load, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var out []Finding
+	if load.Stats.Analyzers == nil {
+		load.Stats.Analyzers = make(map[string]time.Duration)
+	}
 	for _, t := range load.Targets {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -211,6 +333,7 @@ func Run(load *Load, analyzers []*analysis.Analyzer) ([]Finding, error) {
 				TypesInfo:  t.Info,
 				TypesSizes: load.Sizes,
 				Directives: load.Table,
+				Summaries:  load.Summaries,
 				Report: func(d analysis.Diagnostic) {
 					out = append(out, Finding{
 						Pos:      load.Fset.Position(d.Pos),
@@ -219,11 +342,15 @@ func Run(load *Load, analyzers []*analysis.Analyzer) ([]Finding, error) {
 					})
 				},
 			}
-			if err := a.Run(pass); err != nil {
+			started := time.Now()
+			err := a.Run(pass)
+			load.Stats.Analyzers[a.Name] += time.Since(started)
+			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, t.ImportPath, err)
 			}
 		}
 	}
+	out = load.applyNoLints(out, analyzers)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -241,4 +368,45 @@ func Run(load *Load, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		return a.Message < b.Message
 	})
 	return out, nil
+}
+
+// applyNoLints drops findings anchored by a matching suppression and
+// appends an unused-suppression finding for every nolint in a target
+// package that names a ran analyzer yet suppressed nothing.
+func (l *Load) applyNoLints(findings []Finding, analyzers []*analysis.Analyzer) []Finding {
+	if len(l.NoLints) == 0 {
+		return findings
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	targets := make(map[string]bool, len(l.Targets))
+	for _, t := range l.Targets {
+		targets[t.ImportPath] = true
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, nl := range l.NoLints {
+			if nl.Analyzer == f.Analyzer && nl.Line == f.Pos.Line && nl.Pos.Filename == f.Pos.Filename {
+				nl.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, nl := range l.NoLints {
+		if nl.used || !ran[nl.Analyzer] || !targets[nl.ImportPath] {
+			continue
+		}
+		kept = append(kept, Finding{
+			Pos:      nl.Pos,
+			Message:  fmt.Sprintf("unused suppression: no %s finding on line %d (stale //prudence:nolint is an error)", nl.Analyzer, nl.Line),
+			Analyzer: "nolint",
+		})
+	}
+	return kept
 }

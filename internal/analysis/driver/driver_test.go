@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"prudence/internal/analysis"
+)
+
+// testcheck reports every return statement: the fixture package then
+// demonstrates which reports the nolint comments kill.
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "report every return statement (driver test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(ret.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestNoLintSuppression(t *testing.T) {
+	load, err := LoadPackages(".", []string{"./testdata/nolintpkg"})
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(load.DirectiveErrs) > 0 {
+		t.Fatalf("directive errors: %v", load.DirectiveErrs)
+	}
+	findings, err := Run(load, []*analysis.Analyzer{testcheck})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var returns, unused, other []Finding
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "testcheck":
+			returns = append(returns, f)
+		case f.Analyzer == "nolint" && strings.Contains(f.Message, "testcheck"):
+			unused = append(unused, f)
+		default:
+			other = append(other, f)
+		}
+	}
+
+	// Suppressed and NextLine are killed; only Unsuppressed's return
+	// survives.
+	if len(returns) != 1 {
+		t.Fatalf("got %d testcheck findings, want 1 (Unsuppressed only): %v", len(returns), returns)
+	}
+	if returns[0].Pos.Line != 19 {
+		t.Errorf("surviving finding at line %d, want 19 (Unsuppressed's return)", returns[0].Pos.Line)
+	}
+
+	// The stale suppression above var Stale is reported once; the
+	// othercheck suppression is NOT (othercheck did not run).
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-suppression findings, want 1: %v", len(unused), unused)
+	}
+	if !strings.Contains(unused[0].Message, "no testcheck finding") {
+		t.Errorf("unused-suppression message = %q", unused[0].Message)
+	}
+	if len(other) != 0 {
+		t.Errorf("unexpected findings: %v", other)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	load, err := LoadPackages(".", []string{"./testdata/nolintpkg"})
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if _, err := Run(load, []*analysis.Analyzer{testcheck}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := load.Stats
+	if s.Targets != 1 {
+		t.Errorf("Stats.Targets = %d, want 1", s.Targets)
+	}
+	if s.Packages < 1 {
+		t.Errorf("Stats.Packages = %d, want >= 1", s.Packages)
+	}
+	if s.Functions < 3 {
+		t.Errorf("Stats.Functions = %d, want >= 3 (the fixture declares three)", s.Functions)
+	}
+	if s.Load <= 0 {
+		t.Errorf("Stats.Load = %v, want > 0", s.Load)
+	}
+	if _, ok := s.Analyzers["testcheck"]; !ok {
+		t.Errorf("Stats.Analyzers missing testcheck: %v", s.Analyzers)
+	}
+}

@@ -1,0 +1,32 @@
+// Package nolintpkg exercises the driver's //prudence:nolint
+// machinery: same-line suppression, next-line anchoring, stale
+// suppressions, and suppressions for analyzers that did not run.
+package nolintpkg
+
+// Suppressed's finding is killed by the same-line comment.
+func Suppressed() int {
+	return 1 //prudence:nolint:testcheck audited: fixture exercises same-line suppression
+}
+
+// NextLine's finding is killed by the comment on the line above.
+func NextLine() int {
+	//prudence:nolint:testcheck audited: fixture exercises next-line anchoring
+	return 2
+}
+
+// Unsuppressed's finding survives.
+func Unsuppressed() int {
+	return 3
+}
+
+// Stale anchors to the var line below, where testcheck reports
+// nothing: the driver must flag the suppression itself.
+//
+//prudence:nolint:testcheck stale: nothing to suppress here
+var Stale = 4
+
+// A suppression for an analyzer that did not run is left alone — it
+// may be load-bearing for a different invocation.
+//
+//prudence:nolint:othercheck not stale: othercheck is not in this run
+var OtherTool = 5

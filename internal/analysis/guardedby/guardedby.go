@@ -42,9 +42,13 @@ func run(pass *analysis.Pass) error {
 			if annot.FuncHas(fn, annot.VerbNoCheck, "guardedby") {
 				continue
 			}
+			// Callees lets a lock-wrapper helper satisfy the guard: a
+			// call to a function whose summary returns with the guard
+			// class held counts as holding it.
 			w := &lockstate.Walker{
-				Info:  pass.TypesInfo,
-				Table: pass.Directives,
+				Info:    pass.TypesInfo,
+				Table:   pass.Directives,
+				Callees: pass.Summaries,
 			}
 			w.Hooks.OnNode = func(n ast.Node, st *lockstate.State) {
 				sel, ok := n.(*ast.SelectorExpr)

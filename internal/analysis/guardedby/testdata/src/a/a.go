@@ -78,3 +78,29 @@ func EitherLock(c *Counter, remote bool) {
 func Suppressed(c *Counter) int {
 	return c.n
 }
+
+// ---- interprocedural guard satisfaction (summary-driven) ----
+
+// lockCounter returns with the guard held: callers inherit the class
+// through its net-held effect.
+func lockCounter(c *Counter) {
+	c.g.Lock()
+}
+
+func GoodHelperLocked(c *Counter) int {
+	lockCounter(c)
+	c.n++
+	defer c.g.Unlock()
+	return c.n
+}
+
+// A helper that locks and unlocks leaves nothing held for the caller.
+func lockBriefly(c *Counter) {
+	c.g.Lock()
+	c.g.Unlock()
+}
+
+func BadHelperReleased(c *Counter) int {
+	lockBriefly(c)
+	return c.n // want `accesses a\.Counter\.n without holding Guard`
+}

@@ -8,6 +8,13 @@
 // either index is dynamic the escalation loop is trusted (pagealloc's
 // lockThrough walks indices upward by construction — a documented
 // soundness gap).
+//
+// The check is interprocedural through the module-wide effect
+// summaries: a call to a helper whose call graph acquires a lock class
+// is an acquisition of that class at the call site for ordering
+// purposes, and a helper that returns with a lock still held (its
+// net-held effect) extends the held set exactly as a direct Lock call
+// would.
 package lockorder
 
 import (
@@ -45,11 +52,17 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			w := &lockstate.Walker{
-				Info:  pass.TypesInfo,
-				Table: pass.Directives,
+				Info:    pass.TypesInfo,
+				Table:   pass.Directives,
+				Callees: pass.Summaries,
 				Hooks: lockstate.Hooks{
 					OnAcquire: func(pos token.Pos, acq lockstate.Held, before *lockstate.State) {
 						check(pass, pos, acq, before)
+					},
+					OnNode: func(n ast.Node, st *lockstate.State) {
+						if call, ok := n.(*ast.CallExpr); ok {
+							checkCall(pass, call, st)
+						}
 					},
 				},
 			}
@@ -57,6 +70,64 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkCall applies the ordering rule to a callee's transitive
+// acquisitions: with locks held at the call site, everything the callee
+// may acquire must rank strictly above them. Classes the callee still
+// holds on return are excluded here — they surface through the
+// walker's net-held OnAcquire path and would double-report. Indexed
+// acquisitions anywhere in the callee's chain (shards[i].mu) are the
+// escalation idiom and exempt from the same-rank rule, as are same-rank
+// re-acquisitions under a requires contract whose held index is
+// unknown.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, st *lockstate.State) {
+	if pass.Summaries == nil || len(st.Held) == 0 {
+		return
+	}
+	// Direct lock operations (x.Lock, x.TryLock, ...) are classified by
+	// the walker itself and checked through OnAcquire; consulting the
+	// wrapper method's summary here would double-report them.
+	if op, _ := lockstate.Classify(pass.TypesInfo, pass.Directives, call); op != lockstate.OpNone {
+		return
+	}
+	key := lockstate.CalleeKey(pass.TypesInfo, call)
+	fe := pass.Summaries.Func(key)
+	if fe == nil || len(fe.Acquires) == 0 {
+		return
+	}
+	netHeld := make(map[string]bool)
+	for _, k := range fe.NetHeld() {
+		netHeld[k] = true
+	}
+	for classKey := range fe.Acquires {
+		if netHeld[classKey] {
+			continue
+		}
+		c := pass.Directives.ClassByKey(classKey)
+		if c == nil {
+			continue
+		}
+		indexed := fe.AcquiresIndexed[classKey]
+		for _, h := range st.Held {
+			switch {
+			case h.Class.Rank > c.Rank:
+				pass.Reportf(call.Pos(), "calls %s, which acquires %s (rank %d), while holding %s (rank %d); lock ranks must ascend",
+					short(key), short(classKey), c.Rank, short(h.Class.Key), h.Class.Rank)
+			case h.Class.Rank == c.Rank:
+				if indexed || h.HasIndex || h.Dynamic {
+					continue // index-walking escalation is trusted
+				}
+				if h.Class.Key == classKey {
+					pass.Reportf(call.Pos(), "calls %s, which re-acquires %s (rank %d) already held",
+						short(key), short(classKey), c.Rank)
+				} else {
+					pass.Reportf(call.Pos(), "calls %s, which acquires %s while %s of equal rank %d is held; give the classes distinct ranks",
+						short(key), short(classKey), short(h.Class.Key), c.Rank)
+				}
+			}
+		}
+	}
 }
 
 func check(pass *analysis.Pass, pos token.Pos, acq lockstate.Held, before *lockstate.State) {

@@ -132,6 +132,100 @@ func TryBody(l *Low, h *High) {
 	l.Unlock()
 }
 
+// ---- interprocedural ordering (summary-driven) ----
+
+// lockLowBriefly's acquisition is invisible without effect summaries.
+func lockLowBriefly(l *Low) {
+	l.Lock()
+	l.Unlock()
+}
+
+func BadIndirect(l *Low, h *High) {
+	h.Lock()
+	lockLowBriefly(l) // want `calls a\.lockLowBriefly, which acquires a\.Low \(rank 10\), while holding a\.High \(rank 20\); lock ranks must ascend`
+	h.Unlock()
+}
+
+func BadReacquireIndirect(l *Low) {
+	l.Lock()
+	lockLowBriefly(l) // want `calls a\.lockLowBriefly, which re-acquires a\.Low \(rank 10\) already held`
+	l.Unlock()
+}
+
+// lockHighBriefly ascends from Low: fine to call with Low held.
+func lockHighBriefly(h *High) {
+	h.Lock()
+	h.Unlock()
+}
+
+func GoodIndirect(l *Low, h *High) {
+	l.Lock()
+	lockHighBriefly(h)
+	l.Unlock()
+}
+
+// holdHigh returns with High held (a lock-wrapper idiom): the caller
+// inherits the held class through the net-held effect.
+func holdHigh(h *High) {
+	h.Lock()
+}
+
+func BadAfterHeldHelper(l *Low, h *High) {
+	holdHigh(h)
+	l.Lock() // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+	l.Unlock()
+	h.Unlock()
+}
+
+func GoodAfterHeldHelper(l *Low, h *High) {
+	l.Lock()
+	holdHigh(h)
+	h.Unlock()
+	l.Unlock()
+}
+
+// ---- closures and indexed net-held effects (regression pins) ----
+
+// scheduleLater stands in for an idle-work queue: the closure runs
+// whenever the worker gets to it, not under the locks held here.
+func scheduleLater(f func()) { _ = f }
+
+// The scheduled closure's acquisition is not ordered against the locks
+// held at the scheduling site (core's armPreflush idiom).
+//
+//prudence:requires High
+func GoodEscapingClosure(l *Low) {
+	scheduleLater(func() {
+		l.Lock()
+		l.Unlock()
+	})
+}
+
+// An immediately-invoked literal runs inline and stays checked.
+//
+//prudence:requires High
+func BadImmediateClosure(l *Low) {
+	func() {
+		l.Lock() // want `acquires a\.Low \(rank 10\) while holding a\.High \(rank 20\)`
+		l.Unlock()
+	}()
+}
+
+// lockShardsThrough returns holding every shard up to g — the buddy
+// allocator's escalation idiom. Its net-held effect is indexed, so the
+// same-rank acquisition under a caller that already holds a shard is
+// trusted (pagealloc.coalesceInsert calling lockThrough).
+func lockShardsThrough(t *Table, g int) {
+	for i := 0; i <= g; i++ {
+		t.shards[i].mu.Lock()
+	}
+}
+
+//prudence:requires Shard
+func GoodIndexedEscalation(t *Table, g int) {
+	lockShardsThrough(t, g)
+}
+
 // The nocheck escape hatch suppresses this analyzer only.
 //
 //prudence:nocheck lockorder

@@ -128,22 +128,43 @@ type Hooks struct {
 
 // Op kinds recognized on annotated classes.
 const (
-	opNone = iota
-	opAcquire
-	opRelease
-	opReadLock
-	opReadUnlock
+	OpNone = iota
+	OpAcquire
+	OpRelease
+	OpReadLock
+	OpReadUnlock
 )
 
 var methodOps = map[string]int{
-	"Lock":       opAcquire,
-	"LockRemote": opAcquire,
-	"TryLock":    opAcquire,
-	"RLock":      opAcquire,
-	"Unlock":     opRelease,
-	"RUnlock":    opRelease,
-	"ReadLock":   opReadLock,
-	"ReadUnlock": opReadUnlock,
+	"Lock":       OpAcquire,
+	"LockRemote": OpAcquire,
+	"TryLock":    OpAcquire,
+	"RLock":      OpAcquire,
+	"Unlock":     OpRelease,
+	"RUnlock":    OpRelease,
+	"ReadLock":   OpReadLock,
+	"ReadUnlock": OpReadUnlock,
+}
+
+// CallEffects is the summary surface the walker consumes: the net lock
+// and read-side effects of calling the function with the given key (see
+// internal/analysis/summary). It decouples the walker from the summary
+// representation.
+type CallEffects interface {
+	// NetEffects returns the annotated lock classes held on return,
+	// the classes released on the caller's behalf, the net read-side
+	// depth change, and whether a summary exists.
+	NetEffects(key string) (held []HeldEffect, released []string, readDelta int, ok bool)
+}
+
+// HeldEffect is one lock class a callee still holds when it returns.
+// Indexed marks classes acquired through an indexed receiver somewhere
+// in the callee's chain (shards[i].mu): the synthesized Held must be
+// treated as dynamic so the index-escalation idiom stays trusted
+// across calls (pagealloc's lockThrough).
+type HeldEffect struct {
+	Class   string
+	Indexed bool
 }
 
 // Walker runs the traversal for one package.
@@ -151,6 +172,10 @@ type Walker struct {
 	Info  *types.Info
 	Table *annot.Table
 	Hooks Hooks
+	// Callees, when set, lets the walker apply interprocedural effects
+	// at statement-level calls: a helper that returns with a lock held
+	// or a read-side section open propagates that state to its caller.
+	Callees CallEffects
 }
 
 // Walk traverses fn's body, seeding held classes from its
@@ -238,22 +263,30 @@ func LockClassOf(info *types.Info, table *annot.Table, recv ast.Expr) *annot.Cla
 // classify inspects a call expression for a lock operation on an
 // annotated class.
 func (w *Walker) classify(call *ast.CallExpr) (op int, h Held) {
+	return Classify(w.Info, w.Table, call)
+}
+
+// Classify inspects a call expression for a lock operation on an
+// annotated class (or a read-side marker, recognized by method name on
+// any receiver). It is the shared classification behind the walker and
+// the summary builder.
+func Classify(info *types.Info, table *annot.Table, call *ast.CallExpr) (op int, h Held) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return opNone, h
+		return OpNone, h
 	}
 	kind, ok := methodOps[sel.Sel.Name]
 	if !ok {
-		return opNone, h
+		return OpNone, h
 	}
-	if kind == opReadLock || kind == opReadUnlock {
+	if kind == OpReadLock || kind == OpReadUnlock {
 		// Read-side markers are recognized by method name on any
 		// receiver (rcu.RCU, ebr epochs, the ReadSync interface).
 		return kind, h
 	}
-	class := LockClassOf(w.Info, w.Table, sel.X)
+	class := LockClassOf(info, table, sel.X)
 	if class == nil {
-		return opNone, h
+		return OpNone, h
 	}
 	h = Held{Class: class, Pos: call.Pos()}
 	// Find an index step in the receiver chain (shards[g].mu → g).
@@ -264,7 +297,7 @@ func (w *Walker) classify(call *ast.CallExpr) (op int, h Held) {
 			continue
 		case *ast.IndexExpr:
 			h.HasIndex = true
-			if tv, ok := w.Info.Types[e.Index]; ok && tv.Value != nil {
+			if tv, ok := info.Types[e.Index]; ok && tv.Value != nil {
 				// constant.Val for ints fits int64 in all our uses.
 				if v, exact := constInt64(tv); exact {
 					h.Index = v
@@ -278,6 +311,81 @@ func (w *Walker) classify(call *ast.CallExpr) (op int, h Held) {
 		break
 	}
 	return kind, h
+}
+
+// CalleeFunc resolves the *types.Func a call invokes (static calls and
+// method calls, through concrete or interface receivers), or nil for
+// calls through function values, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// FuncKey renders the summary-table key of fn: "pkgpath.Func" for a
+// plain function, "pkgpath.Type.Method" for a method (pointer receiver
+// stripped, generic origin used). Interface methods key on the
+// interface's named type. Returns "" when no stable key exists
+// (methods on anonymous types).
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		if fn.Pkg() == nil {
+			return ""
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	key := NamedKey(recv.Type())
+	if key == "" {
+		return ""
+	}
+	return key + "." + fn.Name()
+}
+
+// CalleeKey resolves a call expression to its callee's FuncKey, or "".
+func CalleeKey(info *types.Info, call *ast.CallExpr) string {
+	return FuncKey(CalleeFunc(info, call))
+}
+
+// FaultPkgPath is the fault-injection layer; calls into it are
+// legitimate only at annotated //prudence:fault_point sites.
+const FaultPkgPath = "prudence/internal/fault"
+
+// faultInjectionFuncs are the entry points that perturb execution; the
+// rest of the fault API (Enable, Current, ...) is harness plumbing and
+// needs no annotation.
+var faultInjectionFuncs = map[string]bool{
+	"Fire": true, "FireDelay": true, "Sleep": true,
+}
+
+// IsFaultInjection reports whether call invokes one of internal/fault's
+// injection entry points (Fire, FireDelay, Sleep).
+func IsFaultInjection(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !faultInjectionFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == FaultPkgPath
 }
 
 func (w *Walker) acquire(st *State, h Held) {
@@ -296,38 +404,92 @@ func (w *Walker) release(st *State, class *annot.Class) {
 	}
 }
 
-// applyCall applies a statement-level lock operation to st.
+// applyCall applies a statement-level lock operation to st. Calls that
+// are not themselves lock operations consult the callee's effect
+// summary (when available), so a helper that returns with a lock held
+// or a read-side section open carries that state into the caller.
 func (w *Walker) applyCall(call *ast.CallExpr, st *State) {
 	op, h := w.classify(call)
 	switch op {
-	case opAcquire:
+	case OpAcquire:
 		w.acquire(st, h)
-	case opRelease:
+	case OpRelease:
 		sel := call.Fun.(*ast.SelectorExpr)
 		if class := LockClassOf(w.Info, w.Table, sel.X); class != nil {
 			w.release(st, class)
 		}
-	case opReadLock:
+	case OpReadLock:
 		st.ReadDepth++
-	case opReadUnlock:
+	case OpReadUnlock:
 		if st.ReadDepth > 0 {
 			st.ReadDepth--
+		}
+	case OpNone:
+		if w.Callees == nil {
+			return
+		}
+		key := CalleeKey(w.Info, call)
+		if key == "" {
+			return
+		}
+		held, released, readDelta, ok := w.Callees.NetEffects(key)
+		if !ok {
+			return
+		}
+		// Releases first: a helper that swaps one lock for another
+		// (unlock A, lock B) must not have its acquisition dropped by
+		// its own release.
+		for _, classKey := range released {
+			if c := w.Table.ClassByKey(classKey); c != nil {
+				w.release(st, c)
+			}
+		}
+		for _, he := range held {
+			if c := w.Table.ClassByKey(he.Class); c != nil {
+				w.acquire(st, Held{Class: c, Pos: call.Pos(), Dynamic: he.Indexed})
+			}
+		}
+		st.ReadDepth += readDelta
+		if st.ReadDepth < 0 {
+			st.ReadDepth = 0
 		}
 	}
 }
 
 // expr visits an expression subtree, reporting every node to OnNode.
-// Function literals are walked as nested bodies with a cloned state.
+// An immediately-invoked function literal (func(){...}()) runs inline
+// and inherits the caller's lock state; any other literal escapes — a
+// scheduled callback or stored closure runs whenever its holder
+// invokes it, not under the locks held at its creation site — so its
+// body is walked with an empty state. Contracts an escaping closure
+// depends on must be annotated on a named function instead (the
+// closures-as-args soundness gap, DESIGN.md §8).
 func (w *Walker) expr(e ast.Expr, st *State) {
 	if e == nil {
 		return
 	}
+	var invoked map[*ast.FuncLit]bool
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fl, ok := call.Fun.(*ast.FuncLit); ok {
+				if invoked == nil {
+					invoked = make(map[*ast.FuncLit]bool)
+				}
+				invoked[fl] = true
+			}
+		}
+		return true
+	})
 	ast.Inspect(e, func(n ast.Node) bool {
 		if fl, ok := n.(*ast.FuncLit); ok {
 			if w.Hooks.OnNode != nil {
 				w.Hooks.OnNode(fl, st)
 			}
-			w.block(fl.Body, st.clone())
+			if invoked[fl] {
+				w.block(fl.Body, st.clone())
+			} else {
+				w.block(fl.Body, &State{shared: st.shared})
+			}
 			return false
 		}
 		if n != nil && w.Hooks.OnNode != nil {
@@ -345,7 +507,7 @@ func (w *Walker) asTryLock(e ast.Expr) (h Held, ok bool) {
 		return h, false
 	}
 	op, h := w.classify(call)
-	if op != opAcquire {
+	if op != OpAcquire {
 		return h, false
 	}
 	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "TryLock" {
@@ -415,6 +577,11 @@ func (w *Walker) stmt(s ast.Stmt, st *State) (terminated bool) {
 		if len(s.Rhs) == 1 {
 			if h, ok := w.asTryLock(s.Rhs[0]); ok {
 				w.acquire(st, h)
+			} else if call, isCall := s.Rhs[0].(*ast.CallExpr); isCall {
+				// v := lockedGet() — a call in a single-assign RHS is
+				// statement-level for effect purposes: apply the
+				// callee's net lock/read effects.
+				w.applyCall(call, st)
 			}
 		}
 		return false
@@ -438,6 +605,9 @@ func (w *Walker) stmt(s ast.Stmt, st *State) (terminated bool) {
 		w.expr(s.X, st)
 		return false
 	case *ast.SendStmt:
+		if w.Hooks.OnNode != nil {
+			w.Hooks.OnNode(s, st)
+		}
 		w.expr(s.Chan, st)
 		w.expr(s.Value, st)
 		return false
@@ -529,6 +699,9 @@ func (w *Walker) stmt(s ast.Stmt, st *State) (terminated bool) {
 		}
 		return false
 	case *ast.RangeStmt:
+		if w.Hooks.OnNode != nil {
+			w.Hooks.OnNode(s, st)
+		}
 		w.expr(s.X, st)
 		bodySt := st.clone()
 		if !w.block(s.Body, bodySt) {
@@ -546,6 +719,9 @@ func (w *Walker) stmt(s ast.Stmt, st *State) (terminated bool) {
 		w.mergeClauses(s.Body, st, hasDefault(s.Body))
 		return false
 	case *ast.SelectStmt:
+		if w.Hooks.OnNode != nil {
+			w.Hooks.OnNode(s, st)
+		}
 		w.mergeClauses(s.Body, st, true)
 		return false
 	default:

@@ -8,24 +8,22 @@
 //     writer lock class (rcu_assign_pointer discipline). Stores are
 //     unchecked when no writer spec is declared.
 //
-//  2. A value passed to any FreeDeferred method is dead to the caller:
-//     the paper's no-touch-after-defer rule. Any later use of the same
-//     variable (or a field/element reached through it) in the function
-//     is flagged; rebinding the variable kills the taint.
-//
-//  3. Calls into internal/fault's injection entry points (Fire,
+//  2. Calls into internal/fault's injection entry points (Fire,
 //     FireDelay, Sleep) must carry a //prudence:fault_point annotation
 //     on the call line or the line above. Annotated injection sites are
-//     deliberate, audited probes and are exempt from contract 2's taint
-//     (a probe may key off a deferred object's identity); unannotated
-//     injection calls are reported, as is a fault_point annotation on
-//     anything that is not an injection call.
+//     deliberate, audited probes; unannotated injection calls are
+//     reported, as is a fault_point annotation on anything that is not
+//     an injection call.
+//
+// The no-touch-after-FreeDeferred taint that used to live here moved to
+// the interprocedural retirecheck analyzer, which sees retires through
+// helper calls via effect summaries instead of resetting at every call
+// boundary.
 package rcucheck
 
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 	"strings"
 
 	"prudence/internal/analysis"
@@ -36,7 +34,7 @@ import (
 // Analyzer is the rcucheck analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "rcucheck",
-	Doc:  "check read-side access to prudence:rcu pointers and no-use-after-FreeDeferred",
+	Doc:  "check read-side access to prudence:rcu pointers and fault-point annotations",
 	Run:  run,
 }
 
@@ -57,22 +55,10 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkRCUPointers(pass, fn)
-			checkFreeDeferred(pass, fn, fp)
 		}
 	}
 	fp.reportUnused(pass)
 	return nil
-}
-
-// faultPkgPath is the injection layer; calls into it are legitimate
-// only at annotated fault points.
-const faultPkgPath = "prudence/internal/fault"
-
-// faultInjectionFuncs are the entry points that perturb execution; the
-// rest of the fault API (Enable, Current, ...) is harness plumbing and
-// needs no annotation.
-var faultInjectionFuncs = map[string]bool{
-	"Fire": true, "FireDelay": true, "Sleep": true,
 }
 
 type fileLine struct {
@@ -140,21 +126,6 @@ func (fp *faultPoints) reportUnused(pass *analysis.Pass) {
 	}
 }
 
-// isFaultInjection reports whether call invokes one of internal/fault's
-// injection entry points.
-func isFaultInjection(info *types.Info, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !faultInjectionFuncs[sel.Sel.Name] {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	pn, ok := info.Uses[id].(*types.PkgName)
-	return ok && pn.Imported().Path() == faultPkgPath
-}
-
 // checkFaultPoints requires the fault_point annotation on every
 // injection call in f.
 func checkFaultPoints(pass *analysis.Pass, f *ast.File, fp *faultPoints) {
@@ -163,7 +134,7 @@ func checkFaultPoints(pass *analysis.Pass, f *ast.File, fp *faultPoints) {
 		if !ok {
 			return true
 		}
-		if isFaultInjection(pass.TypesInfo, call) && !fp.annotated(call) {
+		if lockstate.IsFaultInjection(pass.TypesInfo, call) && !fp.annotated(call) {
 			pass.Reportf(call.Pos(), "fault injection site must be annotated //prudence:fault_point")
 		}
 		return true
@@ -171,9 +142,11 @@ func checkFaultPoints(pass *analysis.Pass, f *ast.File, fp *faultPoints) {
 }
 
 // checkRCUPointers walks fn with lock/read-depth state and validates
-// every accessor call on an annotated pointer field.
+// every accessor call on an annotated pointer field. The walker
+// consumes effect summaries, so a helper that enters a read-side
+// section (or returns holding the writer lock) for its caller counts.
 func checkRCUPointers(pass *analysis.Pass, fn *ast.FuncDecl) {
-	w := &lockstate.Walker{Info: pass.TypesInfo, Table: pass.Directives}
+	w := &lockstate.Walker{Info: pass.TypesInfo, Table: pass.Directives, Callees: pass.Summaries}
 	w.Hooks.OnNode = func(n ast.Node, st *lockstate.State) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -219,185 +192,6 @@ func checkRCUPointers(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 	}
 	w.Walk(fn)
-}
-
-// taintKey identifies a tainted storage path by the base variable's
-// types.Object plus the rendered path. Keying on the object (not the
-// name) means a later variable that merely reuses the name — a new
-// range variable, a shadowing declaration — carries no stale taint.
-type taintKey struct {
-	obj  types.Object
-	path string
-}
-
-// checkFreeDeferred implements the no-touch-after-defer taint: once a
-// value is handed to FreeDeferred, later uses in source order are
-// reported until the variable is rebound. if/else branches are walked
-// with separate taint sets and merged by union (may-taint), so a
-// deferred free in one branch does not poison its sibling branch but
-// still covers everything after the if.
-func checkFreeDeferred(pass *analysis.Pass, fn *ast.FuncDecl, fp *faultPoints) {
-	if fn.Body == nil {
-		return
-	}
-	taints := make(map[taintKey]token.Pos)
-
-	keyOf := func(e ast.Expr) (taintKey, bool) {
-		path := exprPath(e)
-		if path == "" {
-			return taintKey{}, false
-		}
-		base := baseIdent(e)
-		if base == nil {
-			return taintKey{}, false
-		}
-		obj := pass.TypesInfo.Uses[base]
-		if obj == nil {
-			obj = pass.TypesInfo.Defs[base]
-		}
-		if obj == nil {
-			return taintKey{}, false
-		}
-		return taintKey{obj: obj, path: path}, true
-	}
-
-	checkUse := func(e ast.Expr, k taintKey) bool {
-		for tk, pos := range taints {
-			if tk.obj != k.obj || e.Pos() <= pos {
-				continue
-			}
-			if k.path == tk.path || strings.HasPrefix(k.path, tk.path+".") {
-				pass.Reportf(e.Pos(), "uses %s after it was passed to FreeDeferred", k.path)
-				return true
-			}
-		}
-		return false
-	}
-
-	var visit func(n ast.Node) bool
-	inspect := func(n ast.Node) {
-		if n != nil {
-			ast.Inspect(n, visit)
-		}
-	}
-	visit = func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.IfStmt:
-			if x.Init != nil {
-				inspect(x.Init)
-			}
-			inspect(x.Cond)
-			before := make(map[taintKey]token.Pos, len(taints))
-			for k, v := range taints {
-				before[k] = v
-			}
-			inspect(x.Body)
-			afterThen := taints
-			taints = before
-			if x.Else != nil {
-				inspect(x.Else)
-			}
-			for k, v := range afterThen { // union: taint from either branch
-				if _, ok := taints[k]; !ok {
-					taints[k] = v
-				}
-			}
-			return false
-		case *ast.AssignStmt:
-			for _, r := range x.Rhs {
-				inspect(r)
-			}
-			for _, l := range x.Lhs {
-				k, ok := keyOf(l)
-				switch {
-				case !ok:
-					inspect(l)
-				case strings.IndexByte(k.path, '.') < 0:
-					// Rebinding the variable itself kills every taint
-					// rooted at it.
-					for tk := range taints {
-						if tk.obj == k.obj {
-							delete(taints, tk)
-						}
-					}
-				default:
-					if _, tainted := taints[k]; tainted {
-						delete(taints, k) // rebinding the tainted field
-						continue
-					}
-					if checkUse(l, k) {
-						continue
-					}
-					inspect(l)
-				}
-			}
-			return false
-		case *ast.CallExpr:
-			if isFaultInjection(pass.TypesInfo, x) && fp.annotated(x) {
-				// Annotated injection sites are audited probes: they
-				// may key off a deferred object's identity without
-				// counting as a use of it.
-				return false
-			}
-			sel, ok := x.Fun.(*ast.SelectorExpr)
-			if ok && sel.Sel.Name == "FreeDeferred" {
-				inspect(x.Fun)
-				for _, arg := range x.Args {
-					inspect(arg)
-				}
-				for _, arg := range x.Args {
-					if isScalar(pass.TypesInfo, arg) {
-						continue
-					}
-					if k, ok := keyOf(arg); ok {
-						taints[k] = x.End()
-					}
-				}
-				return false
-			}
-			return true
-		case *ast.SelectorExpr:
-			if k, ok := keyOf(x); ok {
-				if checkUse(x, k) {
-					return false
-				}
-			}
-			return true
-		case *ast.Ident:
-			if k, ok := keyOf(x); ok {
-				checkUse(x, k)
-			}
-			return true
-		}
-		return true
-	}
-	ast.Inspect(fn.Body, visit)
-}
-
-// exprPath renders a pure ident/selector chain ("c.base.n"), or "".
-func exprPath(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		base := exprPath(x.X)
-		if base == "" {
-			return ""
-		}
-		return base + "." + x.Sel.Name
-	}
-	return ""
-}
-
-// isScalar reports whether arg's type is a basic type (ints, strings):
-// scalars passed to FreeDeferred (the cpu number) carry no freed state.
-func isScalar(info *types.Info, e ast.Expr) bool {
-	tv, ok := info.Types[e]
-	if !ok || tv.Type == nil {
-		return true
-	}
-	_, basic := tv.Type.Underlying().(*types.Basic)
-	return basic
 }
 
 func baseIdent(e ast.Expr) *ast.Ident {

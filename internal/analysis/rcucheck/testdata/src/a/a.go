@@ -1,6 +1,7 @@
 // Package a is the rcucheck fixture: List.head is an RCU-published
-// pointer with WMu as its writer lock, and FreeDeferred kills its
-// argument.
+// pointer with WMu as its writer lock, and fault-injection calls need
+// their audit annotation. (Use-after-FreeDeferred moved to the
+// retirecheck fixture.)
 package a
 
 import (
@@ -71,80 +72,30 @@ func NewList(n *Node) *List {
 	return l
 }
 
-// Cache mimics the allocator's deferred-free entry point.
+// Cache mimics the allocator's deferred-free entry point; the taint it
+// seeds is retirecheck's contract now, but the fault probes below still
+// key off a deferred object.
 type Cache struct{}
 
 func (c *Cache) FreeDeferred(cpu int, n *Node) {}
 
-func UseAfterFree(c *Cache, n *Node) int {
-	c.FreeDeferred(0, n)
-	return n.V // want `uses n\.V after it was passed to FreeDeferred`
-}
-
-func WriteAfterFree(c *Cache, n *Node) {
-	c.FreeDeferred(0, n)
-	n.V = 1 // want `uses n\.V after it was passed to FreeDeferred`
-}
-
-// Rebinding the variable kills the taint.
-func Rebind(c *Cache, n *Node) int {
-	c.FreeDeferred(0, n)
-	n = &Node{}
-	return n.V
-}
-
-// Uses before the deferred free are fine.
-func UseBefore(c *Cache, n *Node) int {
-	v := n.V
-	c.FreeDeferred(0, n)
-	return v
-}
-
-// A sibling else-branch is unreachable from the then-branch's deferred
-// free, but code after the if is covered from either branch.
-func Branches(c *Cache, n *Node, deferred bool) int {
-	if deferred {
-		c.FreeDeferred(0, n)
-	} else {
-		c.Free(0, n)
-	}
-	return n.V // want `uses n\.V after it was passed to FreeDeferred`
-}
-
-func (c *Cache) Free(cpu int, n *Node) {}
-
-// A new variable that merely reuses the name carries no taint.
-func NameReuse(c *Cache, ns []*Node) int {
-	for _, n := range ns {
-		c.FreeDeferred(0, n)
-	}
-	sum := 0
-	for _, n := range ns {
-		sum += n.V
-	}
-	return sum
-}
-
 //prudence:nocheck rcucheck
-func Suppressed(c *Cache, n *Node) int {
-	c.FreeDeferred(0, n)
-	return n.V
+func Suppressed(l *List) *Node {
+	return l.head.Load()
 }
 
-// An annotated injection site is an audited probe: it may key off the
-// deferred object's identity without counting as a use.
+// An annotated injection site is an audited probe.
 func AnnotatedFaultProbe(c *Cache, n *Node) {
 	c.FreeDeferred(0, n)
 	//prudence:fault_point
 	fault.Fire(fault.Point(n.V))
 }
 
-// Without the annotation the injection call is reported twice over:
-// the site itself is illegal, and the probe argument is an ordinary
-// use-after-defer.
+// Without the annotation the injection call is illegal (retirecheck
+// additionally flags the probe argument as a use-after-retire).
 func UnannotatedFaultProbe(c *Cache, n *Node) {
 	c.FreeDeferred(0, n)
-	fault.Fire(fault.Point(n.V)) // want `fault injection site must be annotated //prudence:fault_point` `uses n\.V after it was passed to FreeDeferred`
+	fault.Fire(fault.Point(n.V)) // want `fault injection site must be annotated //prudence:fault_point`
 }
 
 // Harness plumbing (Enable, Enabled, ...) is not an injection point and

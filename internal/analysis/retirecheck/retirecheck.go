@@ -1,0 +1,333 @@
+// Package retirecheck enforces the paper's no-touch-after-defer rule
+// interprocedurally: once a value is handed to a FreeDeferred method —
+// directly, or through any chain of helpers whose effect summaries
+// retire a parameter — the caller's copy is dead. Two bug classes are
+// reported (the ones Brown's survey of deferred-reclamation bugs calls
+// out as the common failure modes):
+//
+//   - use-after-retire: any later read, write or publish of the
+//     retired variable (or a field/element reached through it) in the
+//     same function, until the variable is rebound;
+//   - double-retire: passing an already-retired value to a retiring
+//     call again, however many frames down each retire happens.
+//
+// The taint is flow-ordered within a function (if/else branches union)
+// and crosses function boundaries through the module-wide effect
+// summaries (internal/analysis/summary): a helper that forwards its
+// parameter to FreeDeferred taints that argument at every call site,
+// in every package.
+//
+// Calls into internal/fault's injection entry points that carry a
+// //prudence:fault_point annotation are audited probes and may key off
+// a retired object's identity without counting as a use (rcucheck
+// separately enforces that the annotation is present and consumed).
+//
+// retirecheck subsumes the FreeDeferred taint that rcucheck carried
+// when it was intraprocedural; rcucheck now checks only the RCU
+// pointer and fault-point contracts.
+package retirecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/lockstate"
+	"prudence/internal/analysis/summary"
+)
+
+// Analyzer is the retirecheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "retirecheck",
+	Doc:  "check no-use-after-FreeDeferred and double-retire across function boundaries",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Summaries == nil {
+		return nil
+	}
+	probes := collectFaultLines(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if annot.FuncHas(fn, annot.VerbNoCheck, "retirecheck") {
+				continue
+			}
+			checkRetires(pass, fn, probes)
+		}
+	}
+	return nil
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// collectFaultLines indexes //prudence:fault_point comment lines so
+// annotated injection probes can be exempted from the taint. Unused or
+// missing annotations are rcucheck's contract, not re-reported here.
+func collectFaultLines(pass *analysis.Pass) map[fileLine]bool {
+	out := make(map[fileLine]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, d := range annot.Parse(cg) {
+				if d.Verb == annot.VerbFaultPoint {
+					p := pass.Fset.Position(d.Pos)
+					out[fileLine{p.Filename, p.Line}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func annotatedProbe(pass *analysis.Pass, probes map[fileLine]bool, call *ast.CallExpr) bool {
+	p := pass.Fset.Position(call.Pos())
+	return probes[fileLine{p.Filename, p.Line}] || probes[fileLine{p.Filename, p.Line - 1}]
+}
+
+// taintKey identifies a tainted storage path by the base variable's
+// types.Object plus the rendered path, so a later variable that merely
+// reuses the name (a new range variable, a shadowing declaration)
+// carries no stale taint.
+type taintKey struct {
+	obj  types.Object
+	path string
+}
+
+// taint records one retirement: where it happened and through what.
+type taint struct {
+	pos  token.Pos
+	sink string // "FreeDeferred" or "h.Kill (which retires it)"
+}
+
+func checkRetires(pass *analysis.Pass, fn *ast.FuncDecl, probes map[fileLine]bool) {
+	if fn.Body == nil {
+		return
+	}
+	taints := make(map[taintKey]taint)
+
+	keyOf := func(e ast.Expr) (taintKey, bool) {
+		path := exprPath(e)
+		if path == "" {
+			return taintKey{}, false
+		}
+		base := baseIdent(e)
+		if base == nil {
+			return taintKey{}, false
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[base]
+		}
+		if obj == nil {
+			return taintKey{}, false
+		}
+		return taintKey{obj: obj, path: path}, true
+	}
+
+	checkUse := func(e ast.Expr, k taintKey) bool {
+		for tk, tn := range taints {
+			if tk.obj != k.obj || e.Pos() <= tn.pos {
+				continue
+			}
+			if k.path == tk.path || strings.HasPrefix(k.path, tk.path+".") {
+				pass.Reportf(e.Pos(), "uses %s after it was passed to %s", k.path, tn.sink)
+				return true
+			}
+		}
+		return false
+	}
+
+	var visit func(n ast.Node) bool
+	inspect := func(n ast.Node) {
+		if n != nil {
+			ast.Inspect(n, visit)
+		}
+	}
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				inspect(x.Init)
+			}
+			inspect(x.Cond)
+			before := make(map[taintKey]taint, len(taints))
+			for k, v := range taints {
+				before[k] = v
+			}
+			inspect(x.Body)
+			afterThen := taints
+			taints = before
+			if x.Else != nil {
+				inspect(x.Else)
+			}
+			for k, v := range afterThen { // union: taint from either branch
+				if _, ok := taints[k]; !ok {
+					taints[k] = v
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				inspect(r)
+			}
+			for _, l := range x.Lhs {
+				k, ok := keyOf(l)
+				switch {
+				case !ok:
+					inspect(l)
+				case strings.IndexByte(k.path, '.') < 0:
+					// Rebinding the variable itself kills every taint
+					// rooted at it.
+					for tk := range taints {
+						if tk.obj == k.obj {
+							delete(taints, tk)
+						}
+					}
+				default:
+					if _, tainted := taints[k]; tainted {
+						delete(taints, k) // rebinding the tainted field
+						continue
+					}
+					if checkUse(l, k) {
+						continue
+					}
+					inspect(l)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if lockstate.IsFaultInjection(pass.TypesInfo, x) && annotatedProbe(pass, probes, x) {
+				// Annotated injection sites are audited probes: they may
+				// key off a retired object's identity without counting
+				// as a use of it.
+				return false
+			}
+			retires := pass.Summaries.CallRetires(pass.TypesInfo, x)
+			if len(retires) == 0 {
+				return true
+			}
+			inspect(x.Fun)
+			sink := sinkName(pass.TypesInfo, x)
+			args := callArgs(pass.TypesInfo, x)
+			for i, arg := range args {
+				if arg == nil {
+					continue // receiver inside x.Fun, already inspected
+				}
+				_, retired := retires[i]
+				if !retired || isScalar(pass.TypesInfo, arg) {
+					inspect(arg)
+					continue
+				}
+				k, ok := keyOf(arg)
+				if !ok {
+					inspect(arg)
+					continue
+				}
+				if tn, tainted := taints[k]; tainted && arg.Pos() > tn.pos {
+					pass.Reportf(arg.Pos(), "double retire: %s was already passed to %s", k.path, tn.sink)
+					continue
+				}
+				if checkUse(arg, k) {
+					continue
+				}
+				taints[k] = taint{pos: x.End(), sink: sink}
+			}
+			return false
+		case *ast.SelectorExpr:
+			if k, ok := keyOf(x); ok {
+				if checkUse(x, k) {
+					return false
+				}
+			}
+			return true
+		case *ast.Ident:
+			if k, ok := keyOf(x); ok {
+				checkUse(x, k)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// callArgs aligns a call's argument expressions with the summary's
+// retire indices: for a method-value call the receiver is index 0 and
+// is returned as nil (it lives inside x.Fun).
+func callArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			out = append(out, nil)
+		}
+	}
+	return append(out, call.Args...)
+}
+
+// sinkName renders the retiring callee for diagnostics.
+func sinkName(info *types.Info, call *ast.CallExpr) string {
+	fn := lockstate.CalleeFunc(info, call)
+	if fn != nil && fn.Name() == "FreeDeferred" {
+		return "FreeDeferred"
+	}
+	if key := lockstate.FuncKey(fn); key != "" {
+		return summary.Short(key) + " (which retires it)"
+	}
+	return "a retiring call"
+}
+
+// exprPath renders a pure ident/selector chain ("c.base.n"), or "".
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// isScalar reports whether e's type is a basic type (ints, strings):
+// scalars passed to a retiring call (the cpu number) carry no freed
+// state.
+func isScalar(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return basic
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package retirecheck
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestRetireCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}
+
+// TestSummaryGolden pins the retire-effect summaries for the helper
+// package: which parameter each helper retires, by index.
+func TestSummaryGolden(t *testing.T) {
+	analysistest.RunSummaryGolden(t, "testdata/summaries.golden", "./testdata/src/h")
+}

@@ -1,0 +1,143 @@
+// Package a is the retirecheck fixture: use-after-retire and
+// double-retire, direct and through helpers local and cross-package.
+package a
+
+import (
+	"prudence/internal/analysis/retirecheck/testdata/src/h"
+	"prudence/internal/fault"
+)
+
+// ---- direct retires (the intraprocedural baseline) ----
+
+func UseAfterFree(c *h.Cache, n *h.Node) int {
+	c.FreeDeferred(0, n)
+	return n.V // want `uses n\.V after it was passed to FreeDeferred`
+}
+
+func WriteAfterFree(c *h.Cache, n *h.Node) {
+	c.FreeDeferred(0, n)
+	n.V = 1 // want `uses n\.V after it was passed to FreeDeferred`
+}
+
+// Publishing a retired pointer is a use like any other.
+var published *h.Node
+
+func PublishAfterFree(c *h.Cache, n *h.Node) {
+	c.FreeDeferred(0, n)
+	published = n // want `uses n after it was passed to FreeDeferred`
+}
+
+// The planted acceptance case: a double FreeDeferred through a helper.
+func DoubleRetireThroughHelper(c *h.Cache, n *h.Node) {
+	h.Kill(c, n)
+	c.FreeDeferred(0, n) // want `double retire: n was already passed to h\.Kill \(which retires it\)`
+}
+
+func DoubleRetireDirect(c *h.Cache, n *h.Node) {
+	c.FreeDeferred(0, n)
+	c.FreeDeferred(0, n) // want `double retire: n was already passed to FreeDeferred`
+}
+
+// ---- retires through helpers (summary-only visibility) ----
+
+func UseAfterHelperRetire(c *h.Cache, n *h.Node) int {
+	h.Kill(c, n)
+	return n.V // want `uses n\.V after it was passed to h\.Kill \(which retires it\)`
+}
+
+func UseAfterDeepRetire(c *h.Cache, n *h.Node) int {
+	h.KillDeep(c, n)
+	return n.V // want `uses n\.V after it was passed to h\.KillDeep \(which retires it\)`
+}
+
+func DoubleRetireBothHelpers(c *h.Cache, n *h.Node) {
+	h.Kill(c, n)
+	h.KillDeep(c, n) // want `double retire: n was already passed to h\.Kill \(which retires it\)`
+}
+
+// Only the retired parameter is tainted: keep stays live.
+func KeepsUnretiredParam(c *h.Cache, keep, n *h.Node) int {
+	h.DropSecond(c, keep, n)
+	return keep.V
+}
+
+// A helper that merely reads does not taint.
+func InspectIsNotARetire(c *h.Cache, n *h.Node) int {
+	h.Inspect(n)
+	return n.V
+}
+
+// Immediate free is a different contract (the allocator panics on
+// double free at runtime); retirecheck tracks only deferred retires.
+func FreeIsNotDeferred(c *h.Cache, n *h.Node) int {
+	c.Free(0, n)
+	return n.V
+}
+
+// ---- flow handling ----
+
+// Rebinding the variable kills the taint.
+func Rebind(c *h.Cache, n *h.Node) int {
+	h.Kill(c, n)
+	n = &h.Node{}
+	return n.V
+}
+
+// Uses before the retire are fine.
+func UseBefore(c *h.Cache, n *h.Node) int {
+	v := n.V
+	h.Kill(c, n)
+	return v
+}
+
+// A sibling else-branch is unreachable from the then-branch's retire,
+// but code after the if is covered from either branch.
+func Branches(c *h.Cache, n *h.Node, deferred bool) int {
+	if deferred {
+		h.Kill(c, n)
+	} else {
+		c.Free(0, n)
+	}
+	return n.V // want `uses n\.V after it was passed to h\.Kill \(which retires it\)`
+}
+
+// A new variable that merely reuses the name carries no taint.
+func NameReuse(c *h.Cache, ns []*h.Node) int {
+	for _, n := range ns {
+		h.Kill(c, n)
+	}
+	sum := 0
+	for _, n := range ns {
+		sum += n.V
+	}
+	return sum
+}
+
+// Fields reached through a retired base are dead too.
+func FieldThroughRetired(c *h.Cache, n *h.Node) *h.Node {
+	h.Kill(c, n)
+	return n.Next // want `uses n\.Next after it was passed to h\.Kill \(which retires it\)`
+}
+
+// ---- audited exemptions ----
+
+//prudence:nocheck retirecheck
+func Suppressed(c *h.Cache, n *h.Node) int {
+	c.FreeDeferred(0, n)
+	return n.V
+}
+
+// An annotated injection site is an audited probe: it may key off the
+// retired object's identity without counting as a use.
+func AnnotatedFaultProbe(c *h.Cache, n *h.Node) {
+	c.FreeDeferred(0, n)
+	//prudence:fault_point
+	fault.Fire(fault.Point(n.V))
+}
+
+// A nolint suppression is exercised here (stale ones are themselves
+// reported by the driver).
+func NolintUse(c *h.Cache, n *h.Node) int {
+	h.Kill(c, n)
+	return n.V //prudence:nolint:retirecheck audited: fixture exercises suppression
+}

@@ -1,0 +1,42 @@
+// Package h is retirecheck's cross-package fixture: the cache type,
+// and helpers that retire a parameter so callers in other packages
+// only see the effect through summaries.
+package h
+
+type Node struct {
+	V    int
+	Next *Node
+}
+
+// Cache mimics the allocator's deferred-free entry point.
+type Cache struct{}
+
+func (c *Cache) FreeDeferred(cpu int, n *Node) {}
+
+// Free is immediate, not deferred: no retire effect.
+func (c *Cache) Free(cpu int, n *Node) {}
+
+// Kill retires n one frame down.
+func Kill(c *Cache, n *Node) {
+	c.FreeDeferred(0, n)
+}
+
+// KillDeep retires n two frames down.
+func KillDeep(c *Cache, n *Node) {
+	Kill(c, n)
+}
+
+// DropSecond retires only its last parameter.
+func DropSecond(c *Cache, keep, n *Node) {
+	c.FreeDeferred(0, n)
+}
+
+// Inspect uses but never retires.
+func Inspect(n *Node) int { return n.V }
+
+// The taint also applies inside this imported package, and the harness
+// must assert the diagnostic here, not only in the package under test.
+func BadLocalUse(c *Cache, n *Node) int {
+	c.FreeDeferred(0, n)
+	return n.V // want `uses n\.V after it was passed to FreeDeferred`
+}

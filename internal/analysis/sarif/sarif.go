@@ -1,0 +1,128 @@
+// Package sarif renders prudence-vet findings as a SARIF 2.1.0 log so
+// CI systems (GitHub code scanning, VS Code SARIF viewers) can ingest
+// them. Only the subset of the schema those consumers require is
+// emitted: one run, the tool's rule table, and one result per finding
+// with a physical location. URIs are emitted as given by the loader
+// (module-relative when the driver is run from the module root), which
+// is what the code-scanning upload action expects.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/driver"
+)
+
+// Log is the document root.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one invocation of the tool.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver ToolComponent `json:"driver"`
+}
+
+// ToolComponent names the analyzer binary and lists its rules.
+type ToolComponent struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message holds plain text.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is an artifact plus region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation names the file.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the start position. SARIF columns are 1-based like Go's.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// New builds a Log from the analyzer set and findings. Every analyzer
+// appears in the rule table whether or not it fired, so consumers can
+// show the full rule inventory; the synthetic "nolint" rule is added
+// when an unused-suppression finding references it.
+func New(analyzers []*analysis.Analyzer, findings []driver.Finding) *Log {
+	rules := make([]Rule, 0, len(analyzers)+1)
+	known := make(map[string]bool, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, Rule{ID: a.Name, ShortDescription: Message{Text: a.Doc}})
+		known[a.Name] = true
+	}
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		if !known[f.Analyzer] {
+			rules = append(rules, Rule{ID: f.Analyzer, ShortDescription: Message{Text: "stale //prudence:nolint suppression"}})
+			known[f.Analyzer] = true
+		}
+		results = append(results, Result{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: Message{Text: f.Message},
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: f.Pos.Filename},
+					Region:           Region{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	return &Log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []Run{{
+			Tool:    Tool{Driver: ToolComponent{Name: "prudence-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// Write encodes the log as indented JSON.
+func Write(w io.Writer, analyzers []*analysis.Analyzer, findings []driver.Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(New(analyzers, findings))
+}

@@ -1,0 +1,106 @@
+package sarif
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/driver"
+)
+
+func TestWrite(t *testing.T) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "sleepcheck", Doc: "no blocking under read locks"},
+		{Name: "retirecheck", Doc: "no touch after retire"},
+	}
+	findings := []driver.Finding{
+		{
+			Pos:      token.Position{Filename: "internal/core/core.go", Line: 42, Column: 7},
+			Message:  "may-block call rcu.Synchronize: inside read-side critical section",
+			Analyzer: "sleepcheck",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/slub/slub.go", Line: 9, Column: 2},
+			Message:  "unused suppression: no retirecheck finding on line 9 (stale //prudence:nolint is an error)",
+			Analyzer: "nolint",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, analyzers, findings); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Round-trip through a generic map to make sure the JSON shape is
+	// what SARIF consumers key on, not just what our structs happen to
+	// marshal to.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if v := doc["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+
+	drv := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if drv["name"] != "prudence-vet" {
+		t.Errorf("driver name = %v", drv["name"])
+	}
+	rules := drv["rules"].([]any)
+	// Two registered analyzers plus the synthetic nolint rule.
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	ids := make([]string, 0, len(rules))
+	for _, r := range rules {
+		ids = append(ids, r.(map[string]any)["id"].(string))
+	}
+	if got := strings.Join(ids, ","); got != "sleepcheck,retirecheck,nolint" {
+		t.Errorf("rule ids = %s", got)
+	}
+
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "sleepcheck" || first["level"] != "error" {
+		t.Errorf("first result ruleId/level = %v/%v", first["ruleId"], first["level"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/core/core.go" {
+		t.Errorf("uri = %v", uri)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"].(float64) != 42 || region["startColumn"].(float64) != 7 {
+		t.Errorf("region = %v", region)
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// results must be [] rather than null: the code-scanning upload
+	// rejects a missing results array.
+	if doc.Runs[0].Results == nil {
+		t.Error("results is null, want empty array")
+	}
+}

@@ -1,0 +1,182 @@
+// Package sleepcheck enforces the paper's core read-side contract: a
+// procrastination-based scheme only works if read-side critical
+// sections never block — a sleeping reader stalls every grace period
+// behind it — and if spin-class lock holders never block while
+// spinning peers burn cycles. It is prudence-vet's analogue of the
+// kernel's might_sleep/RCU-lockdep machinery.
+//
+// The check is interprocedural: each call is classified through the
+// module-wide effect summaries (internal/analysis/summary), so a
+// ReadLock section that calls a helper that calls time.Sleep three
+// frames down is reported at the outermost call.
+//
+// Two severities follow the two ways a lock can wait:
+//
+//   - Inside a ReadLock/ReadUnlock-delimited section (or a function
+//     annotated //prudence:rcu_read), both hard blocking (channel
+//     operations, selects without default, time.Sleep, sync.Cond/
+//     WaitGroup waits, syscalls, grace-period waits) and acquisition
+//     of any blocking (non-spin) lock are reported.
+//   - While holding a spin-class lock (//prudence:lockorder <rank>
+//     spin), only hard blocking is reported: acquiring a sleeping
+//     mutex with a spin lock held is this repository's deliberate
+//     batched refill/flush idiom (Node.mu under the owner-core CAS
+//     lock), and the spin owner field makes it safe.
+//
+// //prudence:may_block on a function or interface method declares a
+// boundary API that may block; calls to it are reported in read-side
+// context, and the declaration itself is verified — a may_block on a
+// function whose computed summary cannot block is reported as stale.
+package sleepcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"prudence/internal/analysis"
+	"prudence/internal/analysis/annot"
+	"prudence/internal/analysis/lockstate"
+	"prudence/internal/analysis/summary"
+)
+
+// Analyzer is the sleepcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepcheck",
+	Doc:  "report may-block calls inside read-side critical sections or under spin-class locks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Summaries == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkMayBlockAnnot(pass, fd)
+			if annot.FuncHas(fd, annot.VerbNoCheck, "sleepcheck") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkMayBlockAnnot verifies a //prudence:may_block declaration
+// against the function's computed summary: declaring blocking intent
+// on something that cannot block would grant callers a false contract.
+func checkMayBlockAnnot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !annot.FuncHas(fd, annot.VerbMayBlock, "") {
+		return
+	}
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	fe := pass.Summaries.Func(lockstate.FuncKey(fn))
+	if fe != nil && fe.HasBody && fe.Blocks == nil && fe.LocksMutex == nil {
+		pass.Reportf(fd.Pos(), "stale //prudence:may_block: %s cannot block (no blocking operation in its call graph)", fd.Name.Name)
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	// Receives and sends that are a select's comm clauses are covered by
+	// the select's own report; suppress their individual findings.
+	commPos := make(map[token.Pos]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					if m != nil {
+						commPos[m.Pos()] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	w := &lockstate.Walker{
+		Info:    pass.TypesInfo,
+		Table:   pass.Directives,
+		Callees: pass.Summaries,
+	}
+	w.Hooks.OnNode = func(n ast.Node, st *lockstate.State) {
+		inRead := st.ReadDepth > 0
+		spin := heldSpin(st)
+		if !inRead && spin == "" {
+			return
+		}
+		ctx := "inside read-side critical section"
+		if !inRead {
+			ctx = "while holding spin lock " + summary.Short(spin)
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			blocks, locks := pass.Summaries.CallEffect(pass.TypesInfo, x)
+			switch {
+			case blocks != nil:
+				report(x.Pos(), "may-block call %s: %s", ctx, blocks.What)
+			case locks != nil && inRead:
+				report(x.Pos(), "blocking-lock acquisition %s: %s", ctx, locks.What)
+			}
+		case *ast.SendStmt:
+			if !commPos[x.Pos()] {
+				report(x.Pos(), "channel send %s", ctx)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !commPos[x.Pos()] {
+				report(x.Pos(), "channel receive %s", ctx)
+			}
+		case *ast.SelectStmt:
+			if !hasDefaultClause(x) {
+				report(x.Pos(), "select without default %s", ctx)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(x.Pos(), "range over channel %s", ctx)
+				}
+			}
+		}
+	}
+	w.Walk(fd)
+}
+
+// heldSpin returns the key of a held spin-class lock, or "".
+func heldSpin(st *lockstate.State) string {
+	for _, h := range st.Held {
+		if h.Class.Spin {
+			return h.Class.Key
+		}
+	}
+	return ""
+}
+
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package sleepcheck
+
+import (
+	"testing"
+
+	"prudence/internal/analysis/analysistest"
+)
+
+func TestSleepCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/a")
+}
+
+// TestSummaryGolden pins the computed effect summaries for the fixture:
+// a change in the summary lattice or fixpoint shows up as a golden
+// diff, separate from any analyzer's reporting.
+func TestSummaryGolden(t *testing.T) {
+	analysistest.RunSummaryGolden(t, "testdata/summaries.golden", "./testdata/src/a")
+}

@@ -1,0 +1,213 @@
+// Package a is the sleepcheck fixture: read-side sections and
+// spin-class critical sections that must not block, with violations
+// both direct and hidden behind helpers (local and cross-package).
+package a
+
+import (
+	"sync"
+	"time"
+
+	"prudence/internal/analysis/sleepcheck/testdata/src/b"
+)
+
+// RS mimics internal/rcu's read-side API: recognition is by method
+// name, so any type with ReadLock/ReadUnlock works.
+type RS struct{}
+
+func (r *RS) ReadLock(cpu int)   {}
+func (r *RS) ReadUnlock(cpu int) {}
+
+// SpinMu is a spin-class lock: holders must not hard-block, but may
+// take sleeping locks (the batched refill/flush idiom).
+//
+//prudence:lockorder 10 spin
+type SpinMu struct{ state int32 }
+
+func (s *SpinMu) Lock()   {}
+func (s *SpinMu) Unlock() {}
+
+//prudence:lockorder 20
+type BMu struct{ mu sync.Mutex }
+
+func (m *BMu) Lock()   { m.mu.Lock() }
+func (m *BMu) Unlock() { m.mu.Unlock() }
+
+// nap blocks, two frames deep.
+//
+//prudence:may_block
+func nap() { time.Sleep(time.Millisecond) }
+
+// ---- read-side sections ----
+
+// The planted direct violation: a blocking call under ReadLock.
+func BadSleep(r *RS) {
+	r.ReadLock(0)
+	time.Sleep(time.Millisecond) // want `may-block call inside read-side critical section: calls time\.Sleep`
+	r.ReadUnlock(0)
+}
+
+// The same violation through a local helper: only the summary sees it.
+func BadSleepIndirect(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	nap() // want `may-block call inside read-side critical section: calls a\.nap, which may block \(calls time\.Sleep\)`
+}
+
+// And through a helper in another package.
+func BadSleepCrossPackage(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	b.Wait() // want `may-block call inside read-side critical section: calls b\.Wait, which may block \(receives from a channel\)`
+}
+
+// Acquiring a sleeping lock inside a read section blocks the reader.
+func BadLockUnderRead(r *RS, m *BMu) {
+	r.ReadLock(0)
+	m.Lock() // want `blocking-lock acquisition inside read-side critical section: acquires blocking lock a\.BMu`
+	m.Unlock()
+	r.ReadUnlock(0)
+}
+
+// ... even when the acquisition hides behind a cross-package helper.
+func BadLockIndirect(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	b.LockShared() // want `blocking-lock acquisition inside read-side critical section: calls b\.LockShared, which acquires blocking lock b\.Mu`
+}
+
+var signal = make(chan int)
+
+func BadChannelOps(r *RS) int {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	signal <- 1   // want `channel send inside read-side critical section`
+	v := <-signal // want `channel receive inside read-side critical section`
+	select {      // want `select without default inside read-side critical section`
+	case w := <-signal:
+		v += w
+	}
+	return v
+}
+
+// A select with a default never blocks (the expedite-kick idiom).
+func GoodNonBlockingSelect(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	select {
+	case signal <- 1:
+	default:
+	}
+}
+
+// An annotated boundary method blocks by contract.
+func BadInterfaceWait(r *RS, s b.Sync) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	s.DrainAll() // want `may-block call inside read-side critical section: calls b\.Sync\.DrainAll \(declared //prudence:may_block\)`
+}
+
+// Unannotated interface methods are assumed non-blocking.
+func GoodInterfacePoke(r *RS, s b.Sync) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	s.Poke()
+}
+
+// Wait-method names block by convention even with no annotation and no
+// body in reach.
+type Waiter interface{ Synchronize() }
+
+func BadNamedWait(r *RS, s Waiter) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	s.Synchronize() // want `may-block call inside read-side critical section: calls a\.Waiter\.Synchronize, which waits for a grace period`
+}
+
+// Pure helpers are fine anywhere.
+func GoodRead(r *RS) int {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	return b.Quick()
+}
+
+// Blocking after the section closes is fine.
+func GoodSleepAfter(r *RS) {
+	r.ReadLock(0)
+	r.ReadUnlock(0)
+	nap()
+}
+
+// The rcu_read contract seeds the section from the annotation.
+//
+//prudence:rcu_read
+func BadAnnotatedReader() {
+	nap() // want `may-block call inside read-side critical section: calls a\.nap, which may block \(calls time\.Sleep\)`
+}
+
+// ---- spin-class sections ----
+
+func BadSleepUnderSpin(s *SpinMu) {
+	s.Lock()
+	time.Sleep(time.Millisecond) // want `may-block call while holding spin lock a\.SpinMu: calls time\.Sleep`
+	s.Unlock()
+}
+
+// Taking a sleeping lock under a spin lock is the deliberate batched
+// refill/flush idiom: not reported.
+func GoodMutexUnderSpin(s *SpinMu, m *BMu) {
+	s.Lock()
+	m.Lock()
+	m.Unlock()
+	s.Unlock()
+}
+
+// ---- may_block verification ----
+
+// A may_block declaration on something that cannot block is stale.
+//
+//prudence:may_block
+func Harmless() int { return 2 } // want `stale //prudence:may_block: Harmless cannot block \(no blocking operation in its call graph\)`
+
+// ---- closures (pins for the scheduled-callback shape) ----
+
+// schedule stands in for an idle-work queue; the closure escapes.
+func schedule(f func()) { _ = f }
+
+// Scheduling blocking work from inside a read-side section is fine:
+// the closure runs later on the worker, not here (core's armPreflush
+// hands the idle CPU a pre-flush closure while holding the cache lock).
+func GoodEscapingClosure(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	schedule(func() { nap() })
+}
+
+// An immediately-invoked literal runs inline and stays checked.
+func BadImmediateClosure(r *RS) {
+	r.ReadLock(0)
+	defer r.ReadUnlock(0)
+	func() {
+		nap() // want `may-block call inside read-side critical section: calls a\.nap, which may block \(calls time\.Sleep\)`
+	}()
+}
+
+// The pinned-reader harness shape: a goroutine that opens its own
+// read-side section and parks in it is still checked — synctest
+// suppresses exactly this with an audited nolint.
+func BadPinnedReader(r *RS, release chan struct{}) {
+	go func() {
+		r.ReadLock(1)
+		<-release // want `channel receive inside read-side critical section`
+		r.ReadUnlock(1)
+	}()
+}
+
+// ---- suppression ----
+
+// An audited exception: the finding is suppressed by nolint (and the
+// suppression is exercised, so no unused-suppression error either).
+func SuppressedSleep(r *RS) {
+	r.ReadLock(0)
+	time.Sleep(time.Millisecond) //prudence:nolint:sleepcheck audited: fixture exercises suppression
+	r.ReadUnlock(0)
+}

@@ -1,0 +1,56 @@
+// Package b is sleepcheck's cross-package fixture: helpers whose
+// blocking behaviour is only visible through effect summaries, and an
+// annotated boundary interface.
+package b
+
+import "sync"
+
+//prudence:lockorder 30
+type Mu struct{ mu sync.Mutex }
+
+func (m *Mu) Lock()   { m.mu.Lock() }
+func (m *Mu) Unlock() { m.mu.Unlock() }
+
+var ch = make(chan struct{})
+
+// Wait blocks until kicked: callers inside read-side sections must be
+// reported even though the receive is a package away.
+func Wait() { <-ch }
+
+// LockShared acquires the blocking lock (and releases it, so there is
+// no net-held effect — only the acquisition itself).
+var shared Mu
+
+func LockShared() {
+	shared.Lock()
+	shared.Unlock()
+}
+
+// Quick is a pure helper: calling it anywhere is fine.
+func Quick() int { return 1 }
+
+// Sync is a boundary interface. DrainAll's blocking contract cannot be
+// computed (no body), so it is declared.
+type Sync interface {
+	//prudence:may_block
+	DrainAll()
+	// Poke is unannotated and not a known wait method: calls through
+	// it are assumed non-blocking.
+	Poke()
+}
+
+// RS gives this package its own read-side marker so fixtures here can
+// open sections without importing a.
+type RS struct{}
+
+func (r *RS) ReadLock(cpu int)   {}
+func (r *RS) ReadUnlock(cpu int) {}
+
+// BadCrossRead plants a violation in the imported package itself: the
+// harness must assert want comments here too, not only in the package
+// named on the command line.
+func BadCrossRead(r *RS) {
+	r.ReadLock(0)
+	Wait() // want `may-block call inside read-side critical section: calls b\.Wait, which may block \(receives from a channel\)`
+	r.ReadUnlock(0)
+}

@@ -365,9 +365,12 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 			}
 			return r, nil
 		}
-		// Lines 29-30: grow the slab cache.
+		// Lines 29-30: grow the slab cache. A real kernel re-enables
+		// IRQs before entering the buddy allocator; the stand-in grows
+		// under the cache lock and accepts that the page allocator's
+		// bounded zeroer wait may sleep there.
 		node := c.base.NodeFor(cpu)
-		_, err := c.base.NewSlab(node)
+		_, err := c.base.NewSlab(node) //prudence:nolint:sleepcheck grow-under-cache-lock stand-in: the zeroer wait in pagealloc is bounded, and dropping the owner lock here would let visitors race the grow
 		if err == nil {
 			c.base.Trace(trace.KindGrow, cpu, 1, 0)
 			c.refill(cpu, cl)

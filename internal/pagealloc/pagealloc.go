@@ -112,7 +112,7 @@ type Stats struct {
 // paper's design rules out (page allocation must never run under the
 // node list lock), and lockorder flags it.
 //
-//prudence:lockorder 15
+//prudence:lockorder 15 spin
 //prudence:padded 128
 type shard struct {
 	mu sync.Mutex

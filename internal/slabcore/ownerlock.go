@@ -25,7 +25,7 @@ import (
 // guarantee; both match the kernel analogue (local_irq_disable plus a
 // remote-access protocol) the per-CPU caches model.
 //
-//prudence:lockorder 10
+//prudence:lockorder 10 spin
 type OwnerLock struct {
 	state atomic.Int32
 }

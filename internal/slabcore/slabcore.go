@@ -785,7 +785,7 @@ func (b *Base) Fragmentation() (ft float64, allocatedBytes, requestedBytes int64
 // bytes so adjacent CPUs' caches never false-share a cache line (or an
 // adjacent-line prefetch pair).
 //
-//prudence:lockorder 10
+//prudence:lockorder 10 spin
 //prudence:padded 128
 type PerCPUCache struct {
 	lock OwnerLock

@@ -139,8 +139,10 @@ func (c *Cache) Malloc(cpu int) (slabcore.Ref, error) {
 		}
 
 		// Slower path: grow the slab cache by one slab and refill again.
+		// As in core, the stand-in grows under the cache lock and
+		// accepts the page allocator's bounded zeroer wait.
 		node := c.base.NodeFor(cpu)
-		if _, err := c.base.NewSlab(node); err != nil {
+		if _, err := c.base.NewSlab(node); err != nil { //prudence:nolint:sleepcheck grow-under-cache-lock stand-in: the zeroer wait in pagealloc is bounded
 			cc.Unlock()
 			ctr.OOMs.Add(1)
 			c.base.Trace(trace.KindOOM, cpu, 0, 0)

@@ -99,19 +99,27 @@ type Backend interface {
 	ExpediteGP()
 	// WaitElapsedOn blocks until the cookie elapses, treating the
 	// calling CPU as quiescent; returns false if the backend stopped.
+	//
+	//prudence:may_block
 	WaitElapsedOn(cpu int, c Cookie) bool
 	// WaitElapsedOnTimeout is WaitElapsedOn with a deadline: it returns
 	// false if d passes (or the backend stops) before the cookie
 	// elapses. The allocator's OOM-delay path relies on the bounded
 	// return to degrade to an out-of-memory report instead of a hang.
+	//
+	//prudence:may_block
 	WaitElapsedOnTimeout(cpu int, c Cookie, d time.Duration) bool
 	// GPsCompleted counts completed grace periods; it is monotone and
 	// gates once-per-grace-period work.
 	GPsCompleted() uint64
 	// Synchronize blocks until a full grace period has elapsed.
+	//
+	//prudence:may_block
 	Synchronize()
 	// SynchronizeOn is Synchronize with the calling CPU treated as
 	// quiescent for the duration.
+	//
+	//prudence:may_block
 	SynchronizeOn(cpu int)
 
 	// Retire schedules fn to run on some backend-managed goroutine once
@@ -122,6 +130,8 @@ type Backend interface {
 	Retire(cpu int, fn func())
 	// Barrier blocks until every Retire accepted before the call has
 	// run (or the backend stopped).
+	//
+	//prudence:may_block
 	Barrier()
 
 	// Stop shuts down the backend's goroutines. Idempotent. Blocked
