@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|matrix|arenacmp|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig6|scaling|matrix|arenacmp|apps|fig7|fig8|fig9|fig10|fig11|fig12|fig13|cost|dos|ablation|gpsweep|trace|server|all")
 		cpus    = flag.Int("cpus", 8, "virtual CPUs")
 		pages   = flag.Int("pages", 16384, "arena size in 4 KiB pages")
 		pairs   = flag.Int("pairs", 20000, "micro-benchmark pairs per CPU (fig6, scaling, ablation)")
@@ -307,8 +307,20 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig6") && !want("scaling") && !want("matrix") && !want("arenacmp") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling matrix arenacmp apps fig7..fig13 cost dos ablation all\n", *exp)
+	if want("server") {
+		run("server", func() error {
+			sc := bench.ServerConfig{CPUs: *cpus, Pages: *pages, Arena: *arena}
+			res, err := bench.RunServer(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			records = append(records, res.Records()...)
+			return nil
+		})
+	}
+	if !want("fig6") && !want("scaling") && !want("matrix") && !want("arenacmp") && !want("fig3") && !appsWanted && !want("cost") && !want("dos") && !want("ablation") && !want("gpsweep") && !want("trace") && !want("server") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from fig3 fig6 scaling matrix arenacmp apps fig7..fig13 cost dos ablation gpsweep trace server all\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -14,6 +14,13 @@
 // same injection schedule (exit status 1 on invariant failure):
 //
 //	prudence-endurance -chaos -seed 42
+//
+// The stalled-reader scenario pins one vCPU's reader inside a
+// read-side critical section for the whole run while the other CPUs
+// churn deferred frees — the input that arms nebr neutralization and
+// hp scans, with a latent-garbage cap asserted for those schemes:
+//
+//	prudence-endurance -stall -scheme nebr -seed 42
 package main
 
 import (
@@ -37,11 +44,27 @@ func main() {
 		csvPath      = flag.String("csv", "", "write used-memory series CSV to this file")
 		metricsEvery = flag.Duration("metrics-every", 0, "dump Prometheus metrics to stderr at this period during the run (0 = off)")
 		chaos        = flag.Bool("chaos", false, "run the seeded chaos harness instead of the Figure 3 experiment")
+		stall        = flag.Bool("stall", false, "run the stalled-reader chaos scenario (pins a vCPU reader the whole run; default scheme nebr)")
 		seed         = flag.Uint64("seed", 1, "fault-injection seed for -chaos (same seed replays the same schedule)")
 		watchdog     = flag.Duration("watchdog", 2*time.Minute, "chaos-mode hang detector")
 		scheme       = flag.String("scheme", "", "reclamation scheme for -chaos (rcu|ebr|hp|nebr; empty = rcu)")
 	)
 	flag.Parse()
+
+	if *stall {
+		res := chaostest.RunStalledReader(chaostest.Config{
+			Seed:     *seed,
+			CPUs:     *cpus,
+			Pages:    *pages,
+			Watchdog: *watchdog,
+			Scheme:   *scheme,
+		})
+		fmt.Println(chaostest.StallReport(res))
+		if !res.Passed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos {
 		res := chaostest.Run(chaostest.Config{

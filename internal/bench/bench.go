@@ -94,13 +94,13 @@ func DefaultConfig() Config {
 
 // Stack is a fully assembled simulated machine plus allocator.
 type Stack struct {
-	Kind    Kind
-	Scheme  string
+	Kind   Kind
+	Scheme string
 	// ArenaName is the memory backend behind Arena.
 	ArenaName string
 	Arena     *memarena.Arena
-	Pages   *pagealloc.Allocator
-	Machine *vcpu.Machine
+	Pages     *pagealloc.Allocator
+	Machine   *vcpu.Machine
 	// Sync is the reclamation backend every layer shares. RCU aliases
 	// it when (and only when) Scheme is "rcu" — the figure runners that
 	// introspect engine internals (Fig. 3's backlog) use it and must

@@ -946,6 +946,14 @@ func (c *Cache) Drain() {
 		if c.latentTotal.Load() == 0 && c.percpuEmpty() {
 			return
 		}
+		// A stopped backend can never elapse the remaining latent
+		// cookies (Synchronize returns immediately once stopped), so
+		// looping would spin forever. This is the teardown race a
+		// long-running service's Close hits: give up on the latent
+		// remainder — the arena behind it is being released anyway.
+		if c.alloc.rcu.Stopped() {
+			return
+		}
 		// Latent objects remain, or a concurrent idle pre-flush merged
 		// objects into a CPU cache after we flushed it; wait out a
 		// grace period and retry.

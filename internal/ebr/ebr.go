@@ -152,6 +152,16 @@ func (e *EBR) Stop() {
 	e.gpMu.Unlock()
 }
 
+// Stopped reports whether Stop has begun.
+func (e *EBR) Stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *EBR) cpu(id int) *cpuState {
 	if id < 0 || id >= len(e.percpu) {
 		panic(fmt.Sprintf("ebr: CPU id %d out of range [0,%d)", id, len(e.percpu)))
@@ -481,6 +491,13 @@ func (e *EBR) ExitIdle(cpu int) {}
 // stamped with the current cookie and the drainer invokes it once two
 // epoch advances have passed.
 func (e *EBR) Retire(cpu int, fn func()) { e.queue.Retire(cpu, fn) }
+
+// RetireObject is the non-closure Retire variant; the queue carries
+// the (reclaimer, obj, idx) payload in the limbo record itself, so the
+// steady-state retire path allocates nothing.
+func (e *EBR) RetireObject(cpu int, r gsync.Reclaimer, obj any, idx uint64) {
+	e.queue.RetireObject(cpu, r, obj, idx)
+}
 
 // Barrier blocks until every retirement accepted before the call has
 // run (or the engine stopped).

@@ -1,0 +1,287 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	stdsync "sync"
+	"sync/atomic"
+	"time"
+
+	"prudence/internal/bench"
+	"prudence/internal/fault"
+	"prudence/internal/memarena"
+	"prudence/internal/pagealloc"
+	"prudence/internal/slabcore"
+)
+
+// StallResult reports one stalled-reader chaos run: the scenario that
+// arms the bounded-garbage machinery the plain chaos mix never reaches
+// (nebr neutralization, hp scans against a live hazard). One vCPU's
+// reader is pinned inside a read-side critical section for the whole
+// churn; the remaining CPUs allocate and defer-free flat out.
+type StallResult struct {
+	Seed     uint64
+	Scheme   string
+	Passed   bool
+	Failures []string
+	// AllocOK / AllocOOM count the churn CPUs' allocation outcomes —
+	// serving must continue while the reader is stalled.
+	AllocOK  uint64
+	AllocOOM uint64
+	// PeakLatentBytes is the sampler's high-water estimate of
+	// garbage awaiting reclamation (latent objects and retire
+	// backlogs, times object size).
+	PeakLatentBytes int64
+	// LatentCapBytes is the cap the run asserted (bounded-garbage
+	// schemes only; zero when the cap does not apply).
+	LatentCapBytes int64
+	// Neutralizations / NeutralizeLostArrivals / Scans are the
+	// scheme counters the stall must move.
+	Neutralizations        uint64
+	NeutralizeLostArrivals uint64
+	Scans                  uint64
+	Elapsed                time.Duration
+}
+
+// boundedGarbage reports whether scheme bounds garbage under a stalled
+// ReadLock reader. Only nebr does: it forcibly neutralizes the
+// straggler, after which reclamation proceeds. rcu and ebr stall their
+// grace periods by design; and hp's ReadLock compatibility shim pins
+// an era just like an epoch (its per-object hazard bound applies to
+// token-protected traversals, not to ReadLock sections), so a stalled
+// ReadLock reader pins hp garbage too — measured here: the arena fills
+// completely under rcu, ebr and hp, while nebr stays bounded.
+func boundedGarbage(scheme string) bool { return scheme == "nebr" }
+
+// RunStalledReader executes the stalled-reader scenario under the
+// chaos fault mix and checks its invariants:
+//
+//   - the run terminates inside the watchdog (a stalled reader may
+//     slow reclamation, never wedge it);
+//   - every churning CPU keeps getting allocations served;
+//   - for nebr: the stalled reader is neutralized, and the
+//     neutralize-lost fault point actually sees arrivals (the chaos
+//     mix arms it at 25% — before this scenario nothing ever reached
+//     it);
+//   - for hp: scan passes run against the stalled reader's pinned era;
+//   - for nebr only: the latent-garbage estimate stays under half the
+//     arena for the whole run — the neutralization-backed
+//     bounded-garbage contract (see boundedGarbage for why the cap
+//     does not extend to the other schemes).
+func RunStalledReader(cfg Config) StallResult {
+	cfg = cfg.withDefaults()
+	if cfg.Scheme == "" {
+		cfg.Scheme = "nebr"
+	}
+	res := StallResult{Seed: cfg.Seed, Scheme: cfg.Scheme}
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+
+	fault.Enable(fault.Config{Seed: cfg.Seed, Rules: Rules(), LogLimit: 1 << 16})
+	defer fault.Disable()
+
+	bcfg := bench.DefaultConfig()
+	bcfg.CPUs = cfg.CPUs
+	bcfg.ArenaPages = cfg.Pages
+	bcfg.Scheme = cfg.Scheme
+	stack := bench.NewStack(bench.KindPrudence, bcfg)
+	fault.RegisterMetrics(stack.Reg)
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		runStalledPhases(cfg, stack, &res, fail)
+	}()
+	select {
+	case <-done:
+		res.Elapsed = time.Since(start)
+		stack.Close()
+	case <-time.After(cfg.Watchdog):
+		res.Elapsed = time.Since(start)
+		fail("watchdog: stalled-reader run exceeded %v — the pinned reader wedged the system", cfg.Watchdog)
+		// The stack is wedged; leak it rather than hang the caller too.
+	}
+	res.Passed = len(res.Failures) == 0
+	return res
+}
+
+func runStalledPhases(cfg Config, stack *bench.Stack, res *StallResult, fail func(string, ...any)) {
+	env := stack.Env()
+	cache := stack.Alloc.NewCache(slabcore.DefaultConfig("stall-churn", 128, cfg.CPUs))
+	objSize := 128
+
+	churn := 500 * time.Millisecond
+	stallCPU := cfg.CPUs - 1
+	release := make(chan struct{})
+	pinned := make(chan struct{})
+	var readerWg stdsync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		env.Sync.ExitIdle(stallCPU)
+		env.Sync.ReadLock(stallCPU)
+		close(pinned)
+		<-release //prudence:nolint:sleepcheck the scenario exists to pin a reader for the whole run: it is the stalled-reader input the bounded-garbage tiers are measured against
+		env.Sync.ReadUnlock(stallCPU)
+		env.Sync.EnterIdle(stallCPU)
+	}()
+	<-pinned
+
+	// Sampler: track the latent-garbage high-water mark while the
+	// reader is stalled. Backlog gauges count objects; scale by the
+	// churn object size.
+	var peakLatent atomic.Int64
+	sampleStop := make(chan struct{})
+	var samplerWg stdsync.WaitGroup
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-t.C:
+				g := stack.Reg.Gather()
+				var objs float64
+				for name, v := range g {
+					// Exact names for the unlabeled backlog gauges (their
+					// *_peak variants must not count), prefix for the
+					// per-cache labeled latent gauge.
+					if name == "prudence_sync_retire_backlog" ||
+						name == "prudence_rcu_callback_backlog" ||
+						hasAnyPrefix(name, "prudence_cache_latent_objects") {
+						objs += v
+					}
+				}
+				if b := int64(objs) * int64(objSize); b > peakLatent.Load() {
+					peakLatent.Store(b)
+				}
+			}
+		}
+	}()
+
+	// Churn: every CPU except the stalled one allocates and
+	// defer-frees flat out until the clock runs out. OOM is tolerated
+	// (rcu/ebr garbage grows unboundedly by design) but each CPU must
+	// get some allocations served.
+	var ok, oom atomic.Uint64
+	perCPUOK := make([]uint64, cfg.CPUs)
+	var churnWg stdsync.WaitGroup
+	deadline := time.Now().Add(churn)
+	for cpu := 0; cpu < cfg.CPUs-1; cpu++ {
+		churnWg.Add(1)
+		go func(cpu int) {
+			defer churnWg.Done()
+			env.Sync.ExitIdle(cpu)
+			defer env.Sync.EnterIdle(cpu)
+			for i := 0; time.Now().Before(deadline); i++ {
+				ref, err := cache.Malloc(cpu)
+				if err != nil {
+					if !errors.Is(err, pagealloc.ErrOutOfMemory) {
+						fail("cpu %d: Malloc returned unexpected error: %v", cpu, err)
+						return
+					}
+					oom.Add(1)
+					env.Sync.QuiescentState(cpu)
+					continue
+				}
+				ref.Bytes()[0] = byte(i)
+				ok.Add(1)
+				perCPUOK[cpu]++
+				cache.FreeDeferred(cpu, ref)
+				env.Sync.QuiescentState(cpu)
+			}
+		}(cpu)
+	}
+	churnWg.Wait()
+	close(sampleStop)
+	samplerWg.Wait()
+	close(release)
+	readerWg.Wait()
+
+	res.AllocOK = ok.Load()
+	res.AllocOOM = oom.Load()
+	res.PeakLatentBytes = peakLatent.Load()
+
+	// Serving invariant: the stalled reader must not starve the
+	// allocator on any churning CPU.
+	for cpu := 0; cpu < cfg.CPUs-1; cpu++ {
+		if perCPUOK[cpu] == 0 {
+			fail("cpu %d: zero allocations served while the reader was stalled", cpu)
+		}
+	}
+
+	g := stack.Reg.Gather()
+	inj := fault.Current()
+	switch cfg.Scheme {
+	case "nebr":
+		res.Neutralizations = uint64(g["prudence_nebr_neutralizations_total"])
+		res.NeutralizeLostArrivals = inj.Arrivals(fault.NeutralizeLost)
+		if res.Neutralizations == 0 {
+			fail("nebr: stalled reader was never neutralized")
+		}
+		if res.NeutralizeLostArrivals == 0 {
+			fail("nebr: the neutralize-lost fault point saw zero arrivals — the scenario failed to arm it")
+		}
+	case "hp":
+		res.Scans = uint64(g["prudence_hp_scans_total"])
+		if res.Scans == 0 {
+			fail("hp: no scan passes ran against the stalled reader's hazard")
+		}
+	}
+	if boundedGarbage(cfg.Scheme) {
+		res.LatentCapBytes = int64(cfg.Pages) * memarena.PageSize / 2
+		if res.PeakLatentBytes > res.LatentCapBytes {
+			fail("%s: latent garbage peaked at %d bytes, above the %d-byte bounded-garbage cap",
+				cfg.Scheme, res.PeakLatentBytes, res.LatentCapBytes)
+		}
+	}
+
+	// Teardown consistency: once the reader releases, everything must
+	// drain and audit clean.
+	stack.Sync.Synchronize()
+	cache.Drain()
+	if got := cache.Counters().Requested(); got != 0 {
+		fail("churn cache: %d objects still requested after release + drain", got)
+	}
+	if a, okA := cache.(interface{ Audit() error }); okA {
+		if err := a.Audit(); err != nil {
+			fail("churn cache audit: %v", err)
+		}
+	}
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// StallReport renders a human-readable summary of a stalled-reader run.
+func StallReport(r StallResult) string {
+	out := fmt.Sprintf("stalled-reader seed=%d scheme=%s passed=%v elapsed=%v\n"+
+		"  alloc ok=%d oom=%d latent peak=%dB",
+		r.Seed, r.Scheme, r.Passed, r.Elapsed.Round(time.Millisecond),
+		r.AllocOK, r.AllocOOM, r.PeakLatentBytes)
+	if r.LatentCapBytes > 0 {
+		out += fmt.Sprintf(" (cap %dB)", r.LatentCapBytes)
+	}
+	switch r.Scheme {
+	case "nebr":
+		out += fmt.Sprintf("\n  neutralizations=%d neutralize_lost_arrivals=%d",
+			r.Neutralizations, r.NeutralizeLostArrivals)
+	case "hp":
+		out += fmt.Sprintf("\n  scans=%d", r.Scans)
+	}
+	for _, f := range r.Failures {
+		out += "\n  FAIL: " + f
+	}
+	return out
+}

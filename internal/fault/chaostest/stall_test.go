@@ -1,0 +1,44 @@
+package chaostest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStalledReaderNEBR pins the scenario's whole contract on the
+// neutralizing scheme: the stalled reader is neutralized, the
+// neutralize-lost fault point finally sees arrivals, allocations keep
+// flowing, and latent garbage stays under the cap.
+func TestStalledReaderNEBR(t *testing.T) {
+	res := RunStalledReader(Config{Seed: 42, CPUs: 4, Pages: 2048, Scheme: "nebr",
+		Watchdog: time.Minute})
+	if !res.Passed {
+		t.Fatalf("stalled-reader run failed:\n%s", StallReport(res))
+	}
+	if res.Neutralizations == 0 || res.NeutralizeLostArrivals == 0 {
+		t.Fatalf("neutralization machinery never armed:\n%s", StallReport(res))
+	}
+	if res.PeakLatentBytes == 0 {
+		t.Fatalf("sampler recorded no latent garbage:\n%s", StallReport(res))
+	}
+	if res.PeakLatentBytes > res.LatentCapBytes {
+		t.Fatalf("latent garbage above cap:\n%s", StallReport(res))
+	}
+}
+
+// TestStalledReaderHP checks hp keeps scanning (and serving) with a
+// reader parked on an era; the garbage cap deliberately does not apply
+// (see boundedGarbage).
+func TestStalledReaderHP(t *testing.T) {
+	res := RunStalledReader(Config{Seed: 42, CPUs: 4, Pages: 1024, Scheme: "hp",
+		Watchdog: time.Minute})
+	if !res.Passed {
+		t.Fatalf("stalled-reader run failed:\n%s", StallReport(res))
+	}
+	if res.Scans == 0 {
+		t.Fatalf("hp scan path never armed:\n%s", StallReport(res))
+	}
+	if res.AllocOK == 0 {
+		t.Fatalf("no allocations served:\n%s", StallReport(res))
+	}
+}

@@ -103,6 +103,22 @@ type retiredObj struct {
 	cookie gsync.Cookie
 	token  uint64
 	fn     func()
+	// Non-closure payload (the RetireObject path): when rec is
+	// non-nil, reclamation calls rec.ReclaimRetired(cpu, obj, idx)
+	// instead of fn, so retiring costs no per-call allocation.
+	rec gsync.Reclaimer
+	obj any
+	idx uint64
+	cpu int32
+}
+
+// invoke runs the deferred work, whichever form it was enqueued in.
+func (r *retiredObj) invoke() {
+	if r.rec != nil {
+		r.rec.ReclaimRetired(int(r.cpu), r.obj, r.idx)
+		return
+	}
+	r.fn()
 }
 
 type cpuState struct {
@@ -187,6 +203,16 @@ func (h *HP) Stop() {
 		h.wg.Wait()
 		h.scanAll()
 	})
+}
+
+// Stopped reports whether Stop has begun.
+func (h *HP) Stopped() bool {
+	select {
+	case <-h.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 func (h *HP) cpu(id int) *cpuState {
@@ -408,8 +434,19 @@ func (h *HP) Retire(cpu int, fn func()) { h.RetireToken(cpu, 0, fn) }
 // Callers unlink the object first, then retire it with the token its
 // readers publish.
 func (h *HP) RetireToken(cpu int, token uint64, fn func()) {
+	h.retire(cpu, retiredObj{token: token, fn: fn})
+}
+
+// RetireObject is the non-closure Retire variant (era protection only,
+// token 0): the deferred free is carried as a (reclaimer, obj, idx)
+// payload, so the steady-state retire path allocates nothing.
+func (h *HP) RetireObject(cpu int, rec gsync.Reclaimer, obj any, idx uint64) {
+	h.retire(cpu, retiredObj{rec: rec, obj: obj, idx: idx, cpu: int32(cpu)})
+}
+
+func (h *HP) retire(cpu int, entry retiredObj) {
 	cs := h.cpu(cpu)
-	entry := retiredObj{cookie: h.Snapshot(), token: token, fn: fn}
+	entry.cookie = h.Snapshot()
 	cs.mu.Lock()
 	cs.retired = append(cs.retired, entry)
 	cs.sinceScan++
@@ -527,8 +564,8 @@ func (h *HP) scan(cpu int) {
 	}
 	cs.retired = keep
 	cs.mu.Unlock()
-	for _, r := range free {
-		r.fn()
+	for i := range free {
+		free[i].invoke()
 	}
 	if n := len(free); n > 0 {
 		cs.done.Add(uint64(n))

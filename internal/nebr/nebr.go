@@ -186,6 +186,16 @@ func (e *NEBR) Stop() {
 	})
 }
 
+// Stopped reports whether Stop has begun.
+func (e *NEBR) Stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *NEBR) cpu(id int) *cpuState {
 	if id < 0 || id >= len(e.percpu) {
 		panic(fmt.Sprintf("nebr: CPU id %d out of range [0,%d)", id, len(e.percpu)))
@@ -417,6 +427,13 @@ func (e *NEBR) waitElapsed(c gsync.Cookie) bool {
 // Retire schedules fn into cpu's limbo bag, stamped with the current
 // cookie; the drainer invokes it once two epoch advances have passed.
 func (e *NEBR) Retire(cpu int, fn func()) { e.queue.Retire(cpu, fn) }
+
+// RetireObject is the non-closure Retire variant; the queue carries
+// the (reclaimer, obj, idx) payload in the limbo record itself, so the
+// steady-state retire path allocates nothing.
+func (e *NEBR) RetireObject(cpu int, r gsync.Reclaimer, obj any, idx uint64) {
+	e.queue.RetireObject(cpu, r, obj, idx)
+}
 
 // Barrier blocks until every retirement accepted before the call has
 // run (or the engine stopped).

@@ -131,9 +131,25 @@ type Stats struct {
 	SynchronizeCalls uint64
 }
 
+// callback is one deferred invocation. It carries either a closure
+// (fn) or, on the allocation-free RetireObject path, a (rec, obj, idx)
+// triple interpreted by the reclaimer.
 type callback struct {
 	cookie Cookie
 	fn     func()
+	rec    gsync.Reclaimer
+	obj    any
+	idx    uint64
+	cpu    int32
+}
+
+// invoke runs the deferred work, whichever form it was enqueued in.
+func (cb *callback) invoke() {
+	if cb.rec != nil {
+		cb.rec.ReclaimRetired(int(cb.cpu), cb.obj, cb.idx)
+		return
+	}
+	cb.fn()
 }
 
 type cpuState struct {
@@ -170,8 +186,8 @@ type RCU struct {
 	gpStarted   atomic.Uint64
 	gpCompleted atomic.Uint64
 
-	pending  atomic.Int64 // callbacks not yet invoked
-	needGP   atomic.Bool  // external demand for a grace period (Prudence)
+	pending atomic.Int64 // callbacks not yet invoked
+	needGP  atomic.Bool  // external demand for a grace period (Prudence)
 	// expedite records expedited demand (ExpediteGP): the driver skips
 	// the inter-GP gap while set. Cleared when the grace period it
 	// hastened completes.
@@ -240,6 +256,16 @@ func (r *RCU) Stop() {
 	r.gpMu.Lock()
 	r.gpCond.Broadcast()
 	r.gpMu.Unlock()
+}
+
+// Stopped reports whether Stop has begun.
+func (r *RCU) Stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 func (r *RCU) cpu(id int) *cpuState {
@@ -336,7 +362,7 @@ func (r *RCU) runInlineCallbacks(cs *cpuState) {
 	//prudence:fault_point
 	fault.Sleep(fault.CBDelay)
 	for _, cb := range batch {
-		cb.fn()
+		cb.invoke()
 	}
 	r.cbInvoked.Add(uint64(len(batch)))
 	r.pending.Add(int64(-len(batch)))
@@ -512,8 +538,12 @@ func (r *RCU) SynchronizeOn(cpu int) {
 // grace period elapses. This is the Listing 1 path that the SLUB-based
 // baseline uses for deferred frees.
 func (r *RCU) Call(cpu int, fn func()) {
+	r.enqueue(cpu, callback{fn: fn})
+}
+
+func (r *RCU) enqueue(cpu int, cb callback) {
 	cs := r.cpu(cpu)
-	cb := callback{cookie: r.Snapshot(), fn: fn}
+	cb.cookie = r.Snapshot()
 	cs.cbMu.Lock()
 	cs.cbs = append(cs.cbs, cb)
 	cs.cbMu.Unlock()
@@ -540,6 +570,13 @@ func (r *RCU) Call(cpu int, fn func()) {
 // retirement hook; for RCU it is exactly Call.
 func (r *RCU) Retire(cpu int, fn func()) { r.Call(cpu, fn) }
 
+// RetireObject is the non-closure Retire variant: an RCU callback
+// carrying a (reclaimer, obj, idx) payload instead of a heap closure,
+// so the Listing-1 deferred-free path enqueues with zero allocations.
+func (r *RCU) RetireObject(cpu int, rec gsync.Reclaimer, obj any, idx uint64) {
+	r.enqueue(cpu, callback{rec: rec, obj: obj, idx: idx, cpu: int32(cpu)})
+}
+
 // PendingCallbacks returns the number of callbacks queued but not yet
 // invoked.
 func (r *RCU) PendingCallbacks() int { return int(r.pending.Load()) }
@@ -549,20 +586,17 @@ func (r *RCU) PendingCallbacks() int { return int(r.pending.Load()) }
 // sentinel callback on every CPU (callbacks are per-CPU FIFO) and
 // waiting for all sentinels to run.
 func (r *RCU) Barrier() {
-	var wg sync.WaitGroup
-	wg.Add(len(r.percpu))
+	// The sentinels decrement an atomic the caller polls. No waiter
+	// goroutine: a helper blocked in wg.Wait would leak if the engine
+	// stopped with a sentinel's grace period still outstanding (Stop
+	// drops unelapsed callbacks, so the sentinel would never run).
+	var remaining atomic.Int64
+	remaining.Store(int64(len(r.percpu)))
 	for cpu := range r.percpu {
-		r.Call(cpu, wg.Done)
+		r.Call(cpu, func() { remaining.Add(-1) })
 	}
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	for {
+	for remaining.Load() > 0 {
 		select {
-		case <-done:
-			return
 		case <-r.stop:
 			return // engine stopping; Stop drains ready callbacks
 		case <-time.After(200 * time.Microsecond):
@@ -799,7 +833,7 @@ func (r *RCU) cbProcessor(cpu int) {
 			//prudence:fault_point
 			fault.Sleep(fault.CBDelay)
 			for _, cb := range batch {
-				cb.fn()
+				cb.invoke()
 			}
 			r.cbInvoked.Add(uint64(len(batch)))
 			r.pending.Add(int64(-len(batch)))
@@ -850,7 +884,7 @@ func (r *RCU) drainReady(cs *cpuState) {
 			return
 		}
 		for _, cb := range batch {
-			cb.fn()
+			cb.invoke()
 		}
 		r.cbInvoked.Add(uint64(len(batch)))
 		r.pending.Add(int64(-len(batch)))

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies: payloads larger than the cache
+// object size would be truncated by the copy anyway, so reject early.
+const maxBodyBytes = 1 << 16
+
+// Handler returns the HTTP front end:
+//
+//	PUT    /v1/session/{id}   upsert session payload (body)
+//	GET    /v1/session/{id}   fetch session payload
+//	DELETE /v1/session/{id}   disconnect
+//	PUT    /v1/route/{prefix} upsert route payload (body)
+//	GET    /v1/route/{prefix} look a route up
+//	DELETE /v1/route/{prefix} remove a route
+//	POST   /v1/stall?hold=10ms park the key's shard in a read section
+//	GET    /metrics           Prometheus exposition (server + stack)
+//	GET    /healthz           liveness
+//	GET    /statusz           human-readable status summary
+//
+// Data-plane requests go through TrySubmit: a saturated shard answers
+// 503 (and raises expedited reclamation) instead of queueing without
+// bound — admission control is the first backpressure tier.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleWrite(w, r, OpConnect, s.cfg.SessionBytes-2)
+	})
+	mux.HandleFunc("GET /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRead(w, r, OpGet, s.cfg.SessionBytes)
+	})
+	mux.HandleFunc("DELETE /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDelete(w, r, OpDisconnect)
+	})
+	mux.HandleFunc("PUT /v1/route/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleWrite(w, r, OpRouteAdd, s.cfg.RouteBytes-2)
+	})
+	mux.HandleFunc("GET /v1/route/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRead(w, r, OpRouteLookup, s.cfg.RouteBytes)
+	})
+	mux.HandleFunc("DELETE /v1/route/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDelete(w, r, OpRouteDel)
+	})
+	mux.HandleFunc("POST /v1/stall", s.handleStall)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+// WriteMetrics writes the server's own metric families followed by the
+// full stack's (allocator, reclamation backend, page allocator, vCPUs)
+// in Prometheus exposition format. The family names are disjoint, so
+// the concatenation is a valid exposition document.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	return s.sys.WriteMetrics(w)
+}
+
+// GatherMetrics snapshots server and stack metrics into one flat map.
+func (s *Server) GatherMetrics() map[string]float64 {
+	out := s.sys.GatherMetrics()
+	for k, v := range s.reg.Gather() {
+		out[k] = v
+	}
+	return out
+}
+
+// Serve accepts connections on l until Shutdown or Close. It wraps a
+// net/http server with sane deployment timeouts; slow-loris behaviour
+// belongs in OpStall, not in the transport.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-s.stop
+		hs.Close()
+	}()
+	err := hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) doOne(op Op) (Op, error) {
+	b := NewBatch(1)
+	b.Ops = append(b.Ops, op)
+	if err := s.TrySubmit(s.ShardFor(op.Key), b); err != nil {
+		return op, err
+	}
+	got := <-b.Reply
+	return got.Ops[0], nil
+}
+
+func parseKey(r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 0, 64)
+	return id, err == nil
+}
+
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	switch err {
+	case ErrBusy:
+		http.Error(w, "shard saturated, retry later", http.StatusServiceUnavailable)
+	case ErrServerClosed:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, kind OpKind, maxPayload int) {
+	key, ok := parseKey(r)
+	if !ok {
+		http.Error(w, "bad key", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxPayload {
+		http.Error(w, fmt.Sprintf("payload exceeds %d bytes", maxPayload),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	op, err := s.doOne(Op{Kind: kind, Key: key, Val: body})
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	switch op.Status {
+	case StatusOK:
+		w.WriteHeader(http.StatusNoContent)
+	case StatusOOM:
+		http.Error(w, "out of memory", http.StatusInsufficientStorage)
+	case StatusShutdown:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, op.Status.String(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request, kind OpKind, size int) {
+	key, ok := parseKey(r)
+	if !ok {
+		http.Error(w, "bad key", http.StatusBadRequest)
+		return
+	}
+	buf := make([]byte, size)
+	op, err := s.doOne(Op{Kind: kind, Key: key, Buf: buf})
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	switch op.Status {
+	case StatusOK:
+		w.Write(buf[:op.N])
+	case StatusNotFound:
+		http.NotFound(w, r)
+	case StatusShutdown:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, op.Status.String(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, kind OpKind) {
+	key, ok := parseKey(r)
+	if !ok {
+		http.Error(w, "bad key", http.StatusBadRequest)
+		return
+	}
+	op, err := s.doOne(Op{Kind: kind, Key: key})
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	switch op.Status {
+	case StatusOK:
+		w.WriteHeader(http.StatusNoContent)
+	case StatusNotFound:
+		http.NotFound(w, r)
+	case StatusShutdown:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, op.Status.String(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStall(w http.ResponseWriter, r *http.Request) {
+	hold := 10 * time.Millisecond
+	if h := r.URL.Query().Get("hold"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil {
+			http.Error(w, "bad hold", http.StatusBadRequest)
+			return
+		}
+		hold = d
+	}
+	var key uint64
+	if k := r.URL.Query().Get("key"); k != "" {
+		v, err := strconv.ParseUint(k, 0, 64)
+		if err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		key = v
+	}
+	op, err := s.doOne(Op{Kind: OpStall, Key: key, Hold: hold})
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	fmt.Fprintf(w, "stalled shard %d for %v (status %s)\n",
+		s.ShardFor(key), hold, op.Status)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "prudence-server: %s allocator, %s reclamation, %s arena, %d shards\n",
+		s.sys.AllocatorName(), s.sys.ReclamationName(), s.sys.ArenaName(), s.shards)
+	fmt.Fprintf(w, "sessions live     %d\n", s.LiveSessions())
+	fmt.Fprintf(w, "routes            %d\n", s.Routes())
+	fmt.Fprintf(w, "arena used        %d / %d bytes\n", s.sys.UsedBytes(), s.sys.TotalBytes())
+	fmt.Fprintf(w, "grace periods     %d\n", s.sys.GracePeriods())
+	fmt.Fprintf(w, "latent objects    %d (peak %d)\n", s.lastBacklog.Load(), s.peakBacklog.Load())
+	fmt.Fprintf(w, "latent bytes      %d (peak %d)\n", s.lastLatentB.Load(), s.peakLatentB.Load())
+	fmt.Fprintf(w, "busy rejects      %d\n", s.BusyRejects())
+	fmt.Fprintf(w, "ooms              %d\n", s.OOMs())
+	fmt.Fprintf(w, "expedites         %d\n", s.Expedites())
+	for k := OpKind(0); k < numOpKinds; k++ {
+		h := s.latency[k]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "latency[%s] n=%d p50=%v p99=%v p999=%v max=%v\n",
+			k, h.Count(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+	}
+}

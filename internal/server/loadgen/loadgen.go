@@ -1,0 +1,590 @@
+// Package loadgen drives an in-process server.Server with millions of
+// simulated sessions under realistic churn: steady connect/touch/get
+// traffic with hot-key skew, disconnect/reconnect storms, the
+// examples/dos open/close flood that manufactures deferred-free
+// garbage at allocation speed, and slow-loris stall operations that
+// park shard readers inside read-side critical sections.
+//
+// The generator is deliberately allocation-free in steady state: each
+// worker owns a fixed pool of batches whose op and payload arrays are
+// reused for the whole run, so the load measured is the server's, not
+// the Go garbage collector's.
+package loadgen
+
+import (
+	"fmt"
+	stdsync "sync"
+	"sync/atomic"
+	"time"
+
+	"prudence/internal/server"
+)
+
+// Config shapes one load run. The zero value of a field takes the
+// documented default.
+type Config struct {
+	// Workers is the number of client goroutines (default: the
+	// server's shard count).
+	Workers int
+	// Sessions is the target live-session population built during the
+	// ramp phase, split across workers (default 100000).
+	Sessions int
+	// Ops is the operation budget for the churn phase after the ramp
+	// (default 2x Sessions).
+	Ops int
+	// Duration caps the churn phase's wall-clock time; zero means the
+	// op budget alone decides.
+	Duration time.Duration
+	// BatchSize is the ops per submitted batch (default 128).
+	BatchSize int
+	// PayloadBytes is the session payload size written on connect and
+	// touch (default 96; must fit the server's SessionBytes).
+	PayloadBytes int
+	// HotPermille is the share (‰) of read traffic aimed at the shared
+	// hot-key set (default 200).
+	HotPermille int
+	// HotKeys is the hot-set size (default 64).
+	HotKeys int
+	// StormPermille is the share (‰) of churn iterations that run a
+	// disconnect/reconnect storm burst (default 30).
+	StormPermille int
+	// StormBurst is the sessions recycled per storm burst
+	// (default 64).
+	StormBurst int
+	// DoSPermille is the share (‰) of churn iterations that run an
+	// examples/dos-style connect+disconnect flood cycle (default 100).
+	DoSPermille int
+	// DoSBurst is the open/close pairs per flood cycle (default 128,
+	// matching examples/dos).
+	DoSBurst int
+	// RoutePermille is the share (‰) of churn iterations that touch
+	// the routing table (default 20).
+	RoutePermille int
+	// Routes is the routing-table population (default 1024).
+	Routes int
+	// StallEvery injects one slow-loris stall per worker every N churn
+	// iterations (0 disables; default 0).
+	StallEvery int
+	// StallHold is the stall pin duration (default 20ms, clamped by
+	// the server's MaxStall).
+	StallHold time.Duration
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (cfg *Config) fill(shards int) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = shards
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 100000
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 2 * cfg.Sessions
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 128
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 96
+	}
+	if cfg.HotPermille <= 0 {
+		cfg.HotPermille = 200
+	}
+	if cfg.HotKeys <= 0 {
+		cfg.HotKeys = 64
+	}
+	if cfg.StormPermille < 0 {
+		cfg.StormPermille = 0
+	} else if cfg.StormPermille == 0 {
+		cfg.StormPermille = 30
+	}
+	if cfg.StormBurst <= 0 {
+		cfg.StormBurst = 64
+	}
+	if cfg.DoSPermille < 0 {
+		cfg.DoSPermille = 0
+	} else if cfg.DoSPermille == 0 {
+		cfg.DoSPermille = 100
+	}
+	if cfg.DoSBurst <= 0 {
+		cfg.DoSBurst = 128
+	}
+	if cfg.RoutePermille < 0 {
+		cfg.RoutePermille = 0
+	} else if cfg.RoutePermille == 0 {
+		cfg.RoutePermille = 20
+	}
+	if cfg.Routes <= 0 {
+		cfg.Routes = 1024
+	}
+	if cfg.StallHold <= 0 {
+		cfg.StallHold = 20 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+// Result summarizes one run. Op counts come from the generator's own
+// tally of returned batch statuses, so they cross-check the server's
+// counters.
+type Result struct {
+	Elapsed        time.Duration
+	SessionsTotal  uint64 // sessions ever connected (ramp + churn + dos)
+	OpsTotal       uint64
+	Connects       uint64
+	Disconnects    uint64
+	Gets           uint64
+	Touches        uint64
+	RouteOps       uint64
+	Stalls         uint64
+	NotFound       uint64
+	OOMs           uint64
+	ShutdownDrops  uint64
+	PeakLive       int
+	EndLive        int
+	ThroughputOps  float64 // ops per second over the whole run
+	P50, P99, P999 time.Duration
+	MaxLatency     time.Duration
+}
+
+// String renders a one-screen summary.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"loadgen: %d sessions (%d peak live, %d at end), %d ops in %v (%.0f ops/s)\n"+
+			"  connect=%d disconnect=%d get=%d touch=%d route=%d stall=%d\n"+
+			"  not_found=%d oom=%d shutdown=%d\n"+
+			"  latency p50=%v p99=%v p999=%v max=%v",
+		r.SessionsTotal, r.PeakLive, r.EndLive, r.OpsTotal,
+		r.Elapsed.Truncate(time.Millisecond), r.ThroughputOps,
+		r.Connects, r.Disconnects, r.Gets, r.Touches, r.RouteOps, r.Stalls,
+		r.NotFound, r.OOMs, r.ShutdownDrops,
+		r.P50, r.P99, r.P999, r.MaxLatency)
+}
+
+// splitmix64: per-worker deterministic RNG without math/rand, so runs
+// replay exactly from Config.Seed.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// permille rolls an event with probability p/1000.
+func (r *rng) permille(p int) bool { return int(r.next()%1000) < p }
+
+// hot-set session ids live in their own high-bit namespace so they
+// never collide with worker-generated ids.
+const hotBase = uint64(0xFF) << 56
+
+// worker tracks one client goroutine's state.
+type worker struct {
+	id          int
+	rng         rng
+	srv         *server.Server
+	cfg         *Config
+	tally       *tally
+	fill        []*server.Batch // batch being filled, per shard (nil = none)
+	free        []*server.Batch
+	done        chan *server.Batch
+	inflight    int
+	maxInflight int
+	live        []uint64 // session ids this worker believes are connected
+	nextID      uint64
+	opsSent     uint64
+	arenas      map[*server.Batch][]byte
+	scratch     []byte
+	liveTotal   *atomic.Int64 // live sessions across all workers
+	peakLive    *atomic.Int64
+}
+
+// tally accumulates completed-op outcomes; one per worker, merged at
+// the end, so the hot path takes no locks.
+type tally struct {
+	connects, disconnects, gets, touches, routeOps, stalls uint64
+	notFound, ooms, shutdown, opsTotal, sessions           uint64
+}
+
+func (t *tally) add(o *server.Op) {
+	t.opsTotal++
+	switch o.Status {
+	case server.StatusNotFound:
+		t.notFound++
+	case server.StatusOOM:
+		t.ooms++
+	case server.StatusShutdown:
+		t.shutdown++
+		return
+	}
+	switch o.Kind {
+	case server.OpConnect:
+		if o.Status == server.StatusOK {
+			t.connects++
+			t.sessions++
+		}
+	case server.OpDisconnect:
+		if o.Status == server.StatusOK {
+			t.disconnects++
+		}
+	case server.OpGet, server.OpRouteLookup:
+		if o.Kind == server.OpGet {
+			t.gets++
+		} else {
+			t.routeOps++
+		}
+	case server.OpTouch:
+		t.touches++
+	case server.OpRouteAdd, server.OpRouteDel:
+		t.routeOps++
+	case server.OpStall:
+		t.stalls++
+	}
+}
+
+func (t *tally) merge(o *tally) {
+	t.connects += o.connects
+	t.disconnects += o.disconnects
+	t.gets += o.gets
+	t.touches += o.touches
+	t.routeOps += o.routeOps
+	t.stalls += o.stalls
+	t.notFound += o.notFound
+	t.ooms += o.ooms
+	t.shutdown += o.shutdown
+	t.opsTotal += o.opsTotal
+	t.sessions += o.sessions
+}
+
+// newBatch builds a batch whose ops share one payload arena: slot i's
+// Val and Buf views alias arena[i*P:(i+1)*P], reused across runs.
+func (w *worker) newBatch() *server.Batch {
+	b := server.NewBatch(w.cfg.BatchSize)
+	b.Reply = w.done
+	arena := make([]byte, w.cfg.BatchSize*w.cfg.PayloadBytes)
+	b.Ops = b.Ops[:0]
+	// Stash the arena by capacity trick: slot views are cut when ops
+	// are appended (see appendOp), so keep it reachable via a map.
+	w.arenas[b] = arena
+	return b
+}
+
+func (w *worker) slot(b *server.Batch, i int) []byte {
+	p := w.cfg.PayloadBytes
+	return w.arenas[b][i*p : (i+1)*p]
+}
+
+// take returns an empty batch, recycling completed ones first and
+// blocking on completions once maxInflight batches are outstanding.
+func (w *worker) take() *server.Batch {
+	for {
+		select {
+		case b := <-w.done:
+			w.inflight--
+			w.recycle(b)
+		default:
+			if n := len(w.free); n > 0 {
+				b := w.free[n-1]
+				w.free = w.free[:n-1]
+				return b
+			}
+			if w.inflight < w.maxInflight {
+				return w.newBatch()
+			}
+			b := <-w.done
+			w.inflight--
+			w.recycle(b)
+		}
+	}
+}
+
+func (w *worker) recycle(b *server.Batch) {
+	for i := range b.Ops {
+		w.tally.add(&b.Ops[i])
+	}
+	b.Ops = b.Ops[:0]
+	w.free = append(w.free, b)
+}
+
+// appendOp places op in the fill batch for its shard, flushing the
+// batch once full.
+func (w *worker) appendOp(op server.Op) error {
+	shard := w.srv.ShardFor(op.Key)
+	b := w.fill[shard]
+	if b == nil {
+		b = w.take()
+		w.fill[shard] = b
+	}
+	i := len(b.Ops)
+	s := w.slot(b, i)
+	switch op.Kind {
+	case server.OpConnect, server.OpTouch, server.OpRouteAdd:
+		n := copy(s, op.Val)
+		op.Val = s[:n]
+	case server.OpGet, server.OpRouteLookup:
+		op.Buf = s
+	}
+	b.Ops = append(b.Ops, op)
+	w.opsSent++
+	if len(b.Ops) == w.cfg.BatchSize {
+		w.fill[shard] = nil
+		return w.flush(shard, b)
+	}
+	return nil
+}
+
+func (w *worker) flush(shard int, b *server.Batch) error {
+	if len(b.Ops) == 0 {
+		w.free = append(w.free, b)
+		return nil
+	}
+	if err := w.srv.Submit(shard, b); err != nil {
+		// Server closing underneath the run: count the ops as dropped.
+		for i := range b.Ops {
+			b.Ops[i].Status = server.StatusShutdown
+		}
+		w.recycle(b)
+		return err
+	}
+	w.inflight++
+	return nil
+}
+
+// flushAll submits every partial batch and waits out all completions.
+func (w *worker) flushAll() {
+	for shard, b := range w.fill {
+		if b != nil {
+			w.fill[shard] = nil
+			w.flush(shard, b)
+		}
+	}
+	for w.inflight > 0 {
+		b := <-w.done
+		w.inflight--
+		w.recycle(b)
+	}
+}
+
+func (w *worker) payload(key uint64) []byte {
+	p := w.scratch
+	for i := range p {
+		p[i] = byte(key >> (8 * (uint(i) % 8)))
+	}
+	return p
+}
+
+// connectOne connects a fresh session id and remembers it as live.
+// Live accounting is optimistic (at submission, not completion): it
+// feeds the peak-live statistic, not correctness.
+func (w *worker) connectOne() error {
+	id := (uint64(w.id+1) << 48) | w.nextID
+	w.nextID++
+	w.live = append(w.live, id)
+	l := w.liveTotal.Add(1)
+	for {
+		p := w.peakLive.Load()
+		if l <= p || w.peakLive.CompareAndSwap(p, l) {
+			break
+		}
+	}
+	return w.appendOp(server.Op{Kind: server.OpConnect, Key: id, Val: w.payload(id)})
+}
+
+// disconnectRandom removes a random live session (swap-delete).
+func (w *worker) disconnectRandom() error {
+	n := len(w.live)
+	if n == 0 {
+		return nil
+	}
+	i := int(w.rng.next() % uint64(n))
+	id := w.live[i]
+	w.live[i] = w.live[n-1]
+	w.live = w.live[:n-1]
+	w.liveTotal.Add(-1)
+	return w.appendOp(server.Op{Kind: server.OpDisconnect, Key: id})
+}
+
+// Run drives the server with cfg's workload and blocks until the op
+// budget (or duration cap) is spent and every batch has completed.
+// The server is left running; callers own its lifecycle.
+func Run(srv *server.Server, cfg Config) Result {
+	cfg.fill(srv.Shards())
+	start := time.Now()
+
+	var (
+		wg        stdsync.WaitGroup
+		rampWg    stdsync.WaitGroup
+		tallies   = make([]tally, cfg.Workers)
+		liveTotal atomic.Int64
+		peakLive  atomic.Int64
+	)
+	perWorkerSessions := cfg.Sessions / cfg.Workers
+	perWorkerOps := cfg.Ops / cfg.Workers
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	wg.Add(cfg.Workers)
+	rampWg.Add(cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		go func(wi int) {
+			defer wg.Done()
+			w := &worker{
+				id:          wi,
+				rng:         rng{s: cfg.Seed + uint64(wi)*0x9e3779b97f4a7c15},
+				srv:         srv,
+				cfg:         &cfg,
+				tally:       &tallies[wi],
+				fill:        make([]*server.Batch, srv.Shards()),
+				done:        make(chan *server.Batch, 4*srv.Shards()),
+				maxInflight: 2 * srv.Shards(),
+				live:        make([]uint64, 0, perWorkerSessions+cfg.StormBurst),
+				arenas:      make(map[*server.Batch][]byte),
+				scratch:     make([]byte, cfg.PayloadBytes),
+				liveTotal:   &liveTotal,
+				peakLive:    &peakLive,
+			}
+			w.run(wi, perWorkerSessions, perWorkerOps, deadline, &rampWg)
+		}(wi)
+	}
+	wg.Wait()
+
+	var t tally
+	for i := range tallies {
+		t.merge(&tallies[i])
+	}
+	elapsed := time.Since(start)
+	h := srv.Latency(server.OpGet)
+	res := Result{
+		Elapsed:       elapsed,
+		SessionsTotal: t.sessions,
+		OpsTotal:      t.opsTotal,
+		Connects:      t.connects,
+		Disconnects:   t.disconnects,
+		Gets:          t.gets,
+		Touches:       t.touches,
+		RouteOps:      t.routeOps,
+		Stalls:        t.stalls,
+		NotFound:      t.notFound,
+		OOMs:          t.ooms,
+		ShutdownDrops: t.shutdown,
+		PeakLive:      int(peakLive.Load()),
+		EndLive:       srv.LiveSessions(),
+		ThroughputOps: float64(t.opsTotal) / elapsed.Seconds(),
+		P50:           h.Quantile(0.50),
+		P99:           h.Quantile(0.99),
+		P999:          h.Quantile(0.999),
+		MaxLatency:    h.Max(),
+	}
+	return res
+}
+
+func (w *worker) run(wi, sessions, ops int, deadline time.Time, rampWg *stdsync.WaitGroup) {
+	// Ramp: build this worker's share of the live population. Worker 0
+	// additionally owns the shared hot set. flushAll is the per-worker
+	// ordering barrier (once it returns, every connect has been
+	// applied); rampWg then synchronizes the workers so churn-phase
+	// hot-key reads find the hot set populated.
+	if wi == 0 {
+		for i := 0; i < w.cfg.HotKeys; i++ {
+			id := hotBase | uint64(i)
+			w.appendOp(server.Op{Kind: server.OpConnect, Key: id, Val: w.payload(id)})
+		}
+	}
+	rampFailed := false
+	for i := 0; i < sessions; i++ {
+		if err := w.connectOne(); err != nil {
+			rampFailed = true
+			break
+		}
+	}
+	w.flushAll()
+	rampWg.Done()
+	rampWg.Wait()
+	if rampFailed {
+		return
+	}
+
+	// Churn: the steady-state mix. Each iteration emits one "primary"
+	// op plus whatever burst events the dice roll adds.
+	checkEvery := 64
+	for it := 0; w.opsSent < uint64(ops); it++ {
+		if !deadline.IsZero() && it%checkEvery == 0 && time.Now().After(deadline) {
+			break
+		}
+		var err error
+		switch {
+		case w.cfg.StallEvery > 0 && it%w.cfg.StallEvery == w.cfg.StallEvery-1:
+			// Slow-loris: pin a pseudo-random shard's reader.
+			err = w.appendOp(server.Op{
+				Kind: server.OpStall,
+				Key:  w.rng.next(),
+				Hold: w.cfg.StallHold,
+			})
+		case w.rng.permille(w.cfg.DoSPermille):
+			// examples/dos flood: open/close pairs back to back, all
+			// garbage, all deferred. The connect and its disconnect
+			// share a key, hence a shard, hence stay ordered.
+			for i := 0; i < w.cfg.DoSBurst && err == nil; i++ {
+				if err = w.connectOne(); err == nil {
+					err = w.disconnectRandomLast()
+				}
+			}
+		case w.rng.permille(w.cfg.StormPermille):
+			// Storm: recycle a burst of the live population.
+			for i := 0; i < w.cfg.StormBurst && err == nil; i++ {
+				err = w.disconnectRandom()
+			}
+			for i := 0; i < w.cfg.StormBurst && err == nil; i++ {
+				err = w.connectOne()
+			}
+		case w.rng.permille(w.cfg.RoutePermille):
+			key := w.rng.next() % uint64(w.cfg.Routes)
+			switch w.rng.next() % 4 {
+			case 0:
+				err = w.appendOp(server.Op{Kind: server.OpRouteAdd, Key: key, Val: w.payload(key)})
+			case 1:
+				err = w.appendOp(server.Op{Kind: server.OpRouteDel, Key: key})
+			default:
+				err = w.appendOp(server.Op{Kind: server.OpRouteLookup, Key: key})
+			}
+		case w.rng.permille(w.cfg.HotPermille):
+			id := hotBase | (w.rng.next() % uint64(w.cfg.HotKeys))
+			err = w.appendOp(server.Op{Kind: server.OpGet, Key: id})
+		default:
+			// Plain traffic on this worker's own sessions.
+			if n := len(w.live); n > 0 {
+				id := w.live[int(w.rng.next()%uint64(n))]
+				if w.rng.permille(300) {
+					err = w.appendOp(server.Op{Kind: server.OpTouch, Key: id, Val: w.payload(id)})
+				} else {
+					err = w.appendOp(server.Op{Kind: server.OpGet, Key: id})
+				}
+			} else {
+				err = w.connectOne()
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	w.flushAll()
+}
+
+// disconnectRandomLast removes the most recently connected session —
+// the dos flood's open/close pairing.
+func (w *worker) disconnectRandomLast() error {
+	n := len(w.live)
+	if n == 0 {
+		return nil
+	}
+	id := w.live[n-1]
+	w.live = w.live[:n-1]
+	w.liveTotal.Add(-1)
+	return w.appendOp(server.Op{Kind: server.OpDisconnect, Key: id})
+}

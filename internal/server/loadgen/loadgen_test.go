@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prudence"
+	"prudence/internal/server"
+)
+
+func smallConfig() Config {
+	return Config{
+		Sessions:   2000,
+		Ops:        8000,
+		BatchSize:  64,
+		StallEvery: 25,
+		StallHold:  2 * time.Millisecond,
+		Seed:       7,
+	}
+}
+
+// TestRunInvariants drives a small load across both allocators and
+// every registered scheme and checks the generator's accounting
+// against the server's applied state.
+func TestRunInvariants(t *testing.T) {
+	for _, alloc := range []prudence.AllocatorKind{prudence.Prudence, prudence.SLUB} {
+		for _, scheme := range prudence.Reclamations() {
+			t.Run(fmt.Sprintf("%s/%s", alloc, scheme), func(t *testing.T) {
+				srv, err := server.New(server.Config{
+					CPUs:                4,
+					MemoryPages:         4096,
+					Allocator:           alloc,
+					Reclamation:         prudence.ReclamationKind(scheme),
+					SessionBuckets:      1 << 10,
+					GracePeriodInterval: time.Millisecond,
+					MonitorInterval:     2 * time.Millisecond,
+					MaxStall:            10 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				res := Run(srv, smallConfig())
+
+				if res.OpsTotal == 0 {
+					t.Fatal("no ops completed")
+				}
+				if res.ShutdownDrops != 0 {
+					t.Fatalf("%d ops dropped at shutdown during a normal run", res.ShutdownDrops)
+				}
+				if res.OOMs != 0 {
+					t.Fatalf("%d OOMs in a run sized to fit", res.OOMs)
+				}
+				// Applied state must match the generator's tally:
+				// every OK connect minus every OK disconnect is live.
+				if got, want := uint64(res.EndLive), res.Connects-res.Disconnects; got != want {
+					t.Fatalf("live sessions %d != connects-disconnects %d", got, want)
+				}
+				if res.PeakLive < 2000/2 {
+					t.Fatalf("peak live %d never approached the %d target", res.PeakLive, 2000)
+				}
+				if res.Stalls == 0 {
+					t.Fatal("no slow-loris stalls served despite StallEvery")
+				}
+				if res.P99 == 0 {
+					t.Fatal("no latency recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestRunDeterministicOpMix replays the same seed twice and expects an
+// identical submitted op mix (completion timing varies; the generated
+// workload must not).
+func TestRunDeterministicOpMix(t *testing.T) {
+	counts := make([]Result, 2)
+	for i := range counts {
+		srv, err := server.New(server.Config{
+			CPUs:                2,
+			MemoryPages:         2048,
+			SessionBuckets:      1 << 8,
+			GracePeriodInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.Sessions = 500
+		cfg.Ops = 2000
+		cfg.StallEvery = 0
+		counts[i] = Run(srv, cfg)
+		srv.Close()
+	}
+	a, b := counts[0], counts[1]
+	if a.Connects != b.Connects || a.Disconnects != b.Disconnects ||
+		a.OpsTotal != b.OpsTotal || a.RouteOps != b.RouteOps {
+		t.Fatalf("same seed, different workload:\n%v\nvs\n%v", a, b)
+	}
+}

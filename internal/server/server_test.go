@@ -1,0 +1,318 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	stdsync "sync"
+	"testing"
+	"time"
+
+	"prudence"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		CPUs:                4,
+		MemoryPages:         2048,
+		SessionBuckets:      1 << 8,
+		GracePeriodInterval: time.Millisecond,
+		MonitorInterval:     2 * time.Millisecond,
+		MaxStall:            20 * time.Millisecond,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func do(t *testing.T, s *Server, op Op) Op {
+	t.Helper()
+	b := NewBatch(1)
+	b.Ops = append(b.Ops, op)
+	if err := s.Submit(s.ShardFor(op.Key), b); err != nil {
+		t.Fatalf("Submit(%v): %v", op.Kind, err)
+	}
+	select {
+	case got := <-b.Reply:
+		return got.Ops[0]
+	case <-time.After(10 * time.Second):
+		t.Fatalf("batch with %v never completed", op.Kind)
+		return Op{}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	payload := []byte("hello, session")
+	if op := do(t, s, Op{Kind: OpConnect, Key: 42, Val: payload}); op.Status != StatusOK {
+		t.Fatalf("connect: %v", op.Status)
+	}
+	buf := make([]byte, 128)
+	op := do(t, s, Op{Kind: OpGet, Key: 42, Buf: buf})
+	if op.Status != StatusOK || string(buf[:op.N]) != string(payload) {
+		t.Fatalf("get: status %v, payload %q", op.Status, buf[:op.N])
+	}
+	if op := do(t, s, Op{Kind: OpTouch, Key: 42, Val: []byte("updated")}); op.Status != StatusOK {
+		t.Fatalf("touch: %v", op.Status)
+	}
+	op = do(t, s, Op{Kind: OpGet, Key: 42, Buf: buf})
+	if op.Status != StatusOK || string(buf[:op.N]) != "updated" {
+		t.Fatalf("get after touch: status %v, payload %q", op.Status, buf[:op.N])
+	}
+	if got := s.LiveSessions(); got != 1 {
+		t.Fatalf("LiveSessions = %d, want 1", got)
+	}
+	if op := do(t, s, Op{Kind: OpDisconnect, Key: 42}); op.Status != StatusOK {
+		t.Fatalf("disconnect: %v", op.Status)
+	}
+	if op := do(t, s, Op{Kind: OpGet, Key: 42, Buf: buf}); op.Status != StatusNotFound {
+		t.Fatalf("get after disconnect: %v, want not_found", op.Status)
+	}
+	if op := do(t, s, Op{Kind: OpDisconnect, Key: 42}); op.Status != StatusNotFound {
+		t.Fatalf("double disconnect: %v, want not_found", op.Status)
+	}
+}
+
+func TestRouteLifecycle(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	if op := do(t, s, Op{Kind: OpRouteAdd, Key: 7, Val: []byte("next-hop")}); op.Status != StatusOK {
+		t.Fatalf("route add: %v", op.Status)
+	}
+	buf := make([]byte, 64)
+	op := do(t, s, Op{Kind: OpRouteLookup, Key: 7, Buf: buf})
+	if op.Status != StatusOK || string(buf[:op.N]) != "next-hop" {
+		t.Fatalf("route lookup: status %v, payload %q", op.Status, buf[:op.N])
+	}
+	if op := do(t, s, Op{Kind: OpRouteDel, Key: 7}); op.Status != StatusOK {
+		t.Fatalf("route del: %v", op.Status)
+	}
+	if op := do(t, s, Op{Kind: OpRouteLookup, Key: 7, Buf: buf}); op.Status != StatusNotFound {
+		t.Fatalf("route lookup after del: %v, want not_found", op.Status)
+	}
+}
+
+func TestStallClampAndCounters(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+	start := time.Now()
+	// A hostile hold far past MaxStall must be clamped to it.
+	if op := do(t, s, Op{Kind: OpStall, Key: 1, Hold: time.Hour}); op.Status != StatusOK {
+		t.Fatalf("stall: %v", op.Status)
+	}
+	if took := time.Since(start); took > 50*cfg.MaxStall {
+		t.Fatalf("stall with hour hold took %v; clamp to %v broken", took, cfg.MaxStall)
+	}
+	if got := s.stallsServed.Load(); got != 1 {
+		t.Fatalf("stalls served = %d, want 1", got)
+	}
+	if s.Latency(OpStall).Count() != 1 {
+		t.Fatal("stall latency histogram empty")
+	}
+}
+
+// TestStallDoesNotBlockOtherShards pins one shard's reader and checks
+// the remaining shards keep serving — the slow-loris isolation story.
+func TestStallDoesNotBlockOtherShards(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	stallKey := uint64(0)
+	stallShard := s.ShardFor(stallKey)
+	sb := NewBatch(1)
+	sb.Ops = append(sb.Ops, Op{Kind: OpStall, Key: stallKey, Hold: 20 * time.Millisecond})
+	if err := s.Submit(stallShard, sb); err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for key := uint64(1); key < 100; key++ {
+		if s.ShardFor(key) == stallShard {
+			continue
+		}
+		if op := do(t, s, Op{Kind: OpConnect, Key: key, Val: []byte("x")}); op.Status == StatusOK {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no other shard served while one was stalled")
+	}
+	<-sb.Reply
+}
+
+func TestTrySubmitShedsLoad(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 1
+	s := newTestServer(t, cfg)
+	shard := s.ShardFor(0)
+	// Stall the shard so the queue backs up, then overfill it.
+	stall := NewBatch(1)
+	stall.Ops = append(stall.Ops, Op{Kind: OpStall, Key: 0, Hold: 20 * time.Millisecond})
+	if err := s.Submit(shard, stall); err != nil {
+		t.Fatal(err)
+	}
+	var sawBusy bool
+	var pending []*Batch
+	for i := 0; i < 50; i++ {
+		b := NewBatch(1)
+		b.Ops = append(b.Ops, Op{Kind: OpStall, Key: 0, Hold: time.Millisecond})
+		switch err := s.TrySubmit(shard, b); err {
+		case nil:
+			pending = append(pending, b)
+		case ErrBusy:
+			sawBusy = true
+		default:
+			t.Fatalf("TrySubmit: %v", err)
+		}
+		if sawBusy {
+			break
+		}
+	}
+	if !sawBusy {
+		t.Fatal("TrySubmit never returned ErrBusy with a stalled shard and depth-1 queue")
+	}
+	if s.BusyRejects() == 0 {
+		t.Fatal("busy rejection not counted")
+	}
+	if s.Expedites() == 0 {
+		t.Fatal("shed load did not raise expedited reclamation")
+	}
+	<-stall.Reply
+	for _, b := range pending {
+		<-b.Reply
+	}
+}
+
+// TestBacklogMonitorExpedites floods deferred frees with a slow grace
+// period so the monitor's latent gauge crosses BacklogHigh and raises
+// expedited demand.
+func TestBacklogMonitorExpedites(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.GracePeriodInterval = 200 * time.Millisecond // garbage piles up
+	cfg.BacklogHigh = 64
+	cfg.MonitorInterval = time.Millisecond
+	s := newTestServer(t, cfg)
+	// Each touch copy-updates a session: one new object, one deferred.
+	b := NewBatch(256)
+	for i := 0; i < 256; i++ {
+		b.Ops = append(b.Ops, Op{Kind: OpTouch, Key: 5, Val: []byte("v")})
+	}
+	if err := s.Submit(s.ShardFor(5), b); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Reply
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Expedites() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never expedited: backlog sample %d (peak %d), high %d",
+				s.lastBacklog.Load(), s.peakBacklog.Load(), cfg.BacklogHigh)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.PeakLatentBytes() == 0 {
+		t.Fatal("latent-bytes peak never recorded")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	s.Close()
+	b := NewBatch(1)
+	b.Ops = append(b.Ops, Op{Kind: OpConnect, Key: 1, Val: []byte("x")})
+	if err := s.Submit(0, b); err != ErrServerClosed {
+		t.Fatalf("Submit after Close: %v, want ErrServerClosed", err)
+	}
+	if err := s.TrySubmit(0, b); err != ErrServerClosed {
+		t.Fatalf("TrySubmit after Close: %v, want ErrServerClosed", err)
+	}
+}
+
+// TestCloseDrainsAcceptedBatches checks every batch accepted before
+// Close completes (no stranded submitters), across both allocators and
+// all registered schemes.
+func TestCloseDrainsAcceptedBatches(t *testing.T) {
+	for _, alloc := range []prudence.AllocatorKind{prudence.Prudence, prudence.SLUB} {
+		for _, scheme := range prudence.Reclamations() {
+			t.Run(fmt.Sprintf("%s/%s", alloc, scheme), func(t *testing.T) {
+				cfg := testConfig(t)
+				cfg.Allocator = alloc
+				cfg.Reclamation = prudence.ReclamationKind(scheme)
+				s := newTestServer(t, cfg)
+
+				var wg stdsync.WaitGroup
+				const clients = 8
+				wg.Add(clients)
+				for c := 0; c < clients; c++ {
+					go func(c int) {
+						defer wg.Done()
+						for i := 0; i < 200; i++ {
+							key := uint64(c*1000 + i)
+							b := NewBatch(2)
+							b.Ops = append(b.Ops,
+								Op{Kind: OpConnect, Key: key, Val: []byte("payload")},
+								Op{Kind: OpDisconnect, Key: key})
+							if err := s.Submit(s.ShardFor(key), b); err != nil {
+								return // closed underneath us: fine
+							}
+							got := <-b.Reply // must always arrive
+							for j := range got.Ops {
+								st := got.Ops[j].Status
+								if st != StatusOK && st != StatusShutdown && st != StatusNotFound {
+									t.Errorf("op status %v", st)
+									return
+								}
+							}
+						}
+					}(c)
+				}
+				time.Sleep(5 * time.Millisecond)
+				s.Close()
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatal("clients stranded after Close: a batch never got its reply")
+				}
+			})
+		}
+	}
+}
+
+// TestCloseStopsGoroutines pins the full teardown: server workers,
+// monitor, and the whole stack underneath exit on Close.
+func TestCloseStopsGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := newTestServer(t, testConfig(t))
+	for i := uint64(0); i < 100; i++ {
+		do(t, s, Op{Kind: OpConnect, Key: i, Val: []byte("x")})
+	}
+	s.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after Close\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestShardForCoversAllShards(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	seen := make(map[int]bool)
+	for key := uint64(0); key < 1000; key++ {
+		shard := s.ShardFor(key)
+		if shard < 0 || shard >= s.Shards() {
+			t.Fatalf("ShardFor(%d) = %d out of range", key, shard)
+		}
+		seen[shard] = true
+	}
+	if len(seen) != s.Shards() {
+		t.Fatalf("1000 keys hit only %d of %d shards", len(seen), s.Shards())
+	}
+}

@@ -263,9 +263,20 @@ func (c *Cache) FreeDeferred(cpu int, r slabcore.Ref) {
 	}
 	c.base.Ctr.IncDeferredFrees(cpu)
 	c.base.UserFree(cpu)
-	c.alloc.sync.Retire(cpu, func() {
-		c.freeObj(cpu, r, true)
-	})
+	// Non-closure retirement: the ref travels as a (slab, idx) payload
+	// in the backend's retire record. A closure here would heap-
+	// allocate on every deferred free — the reclamation scheme
+	// generating the very garbage it exists to manage (the BENCH_PR8
+	// GC-churn finding).
+	c.alloc.sync.RetireObject(cpu, c, r.Slab, uint64(r.Idx))
+}
+
+// ReclaimRetired implements sync.Reclaimer: the deferred-free landing
+// point for refs retired by FreeDeferred. obj is the ref's slab and
+// idx its object index. The backend's processor is a cross-CPU visitor
+// to cpu's cache, hence the remote free protocol.
+func (c *Cache) ReclaimRetired(cpu int, obj any, idx uint64) {
+	c.freeObj(cpu, slabcore.Ref{Slab: obj.(*slabcore.Slab), Idx: uint32(idx)}, true)
 }
 
 // Drain implements alloc.Cache: wait for outstanding deferred frees to

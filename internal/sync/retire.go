@@ -60,11 +60,27 @@ func (o QueueOptions) withDefaults() QueueOptions {
 	return o
 }
 
-// retired is one deferred function stamped with the cookie it must
-// outwait.
+// retired is one deferred free stamped with the cookie it must outwait.
+// It carries either a closure (fn, the Retire path) or a non-closure
+// (rec, obj, idx) triple (the RetireObject path); the latter is what
+// keeps the steady-state deferred-free path at zero allocations per
+// call.
 type retired struct {
-	c  Cookie
-	fn func()
+	c   Cookie
+	fn  func()
+	rec Reclaimer
+	obj any
+	idx uint64
+	cpu int32
+}
+
+// invoke runs the deferred work, whichever form it was enqueued in.
+func (r *retired) invoke() {
+	if r.rec != nil {
+		r.rec.ReclaimRetired(int(r.cpu), r.obj, r.idx)
+		return
+	}
+	r.fn()
 }
 
 // rqShard is one CPU's limbo bag. Entries are appended in Snapshot
@@ -76,6 +92,11 @@ type rqShard struct {
 	//prudence:lockorder 42
 	mu  stdsync.Mutex
 	bag []retired //prudence:guarded_by mu
+	// burst is drain-side scratch for the ready prefix, reused across
+	// bursts so steady-state draining allocates nothing. Only the
+	// drain side touches it (the drainer goroutine while it runs, the
+	// stopping goroutine after the drainer has exited), never under mu.
+	burst []retired
 	// seq counts entries ever enqueued; done counts entries ever
 	// invoked. Barrier waits for done to reach its snapshot of seq —
 	// sound because the bag drains FIFO.
@@ -131,10 +152,21 @@ func NewRetireQueue(gp GracePoller, cpus int, opts QueueOptions) *RetireQueue {
 // grace-period cookie, and raises demand so the epoch machinery moves —
 // expedited demand once the backlog has grown past the qhimark.
 func (q *RetireQueue) Retire(cpu int, fn func()) {
+	q.enqueue(cpu, retired{fn: fn})
+}
+
+// RetireObject is the non-closure Retire variant: same ordering
+// contract, zero allocations on the enqueue path (the bag's capacity
+// is reused once the drain has caught up).
+func (q *RetireQueue) RetireObject(cpu int, rec Reclaimer, obj any, idx uint64) {
+	q.enqueue(cpu, retired{rec: rec, obj: obj, idx: idx, cpu: int32(cpu)})
+}
+
+func (q *RetireQueue) enqueue(cpu int, r retired) {
 	s := q.shards[cpu]
-	c := q.gp.Snapshot()
+	r.c = q.gp.Snapshot()
 	s.mu.Lock()
-	s.bag = append(s.bag, retired{c: c, fn: fn})
+	s.bag = append(s.bag, r)
 	s.mu.Unlock()
 	s.seq.Add(1)
 	n := q.pending.Add(1)
@@ -296,9 +328,20 @@ func (q *RetireQueue) drainShard(i int, stopping bool) {
 		for ready < len(s.bag) && ready < limit && q.gp.Elapsed(s.bag[ready].c) {
 			ready++
 		}
-		burst := make([]retired, ready)
+		if cap(s.burst) < ready {
+			s.burst = make([]retired, ready)
+		}
+		burst := s.burst[:ready]
 		copy(burst, s.bag[:ready])
-		s.bag = s.bag[ready:]
+		// Compact in place instead of re-slicing the front away:
+		// s.bag = s.bag[ready:] would strand the drained prefix's
+		// capacity and force the enqueue side to reallocate forever.
+		n := copy(s.bag, s.bag[ready:])
+		tail := s.bag[n:]
+		for i := range tail {
+			tail[i] = retired{} // drop closure/payload references
+		}
+		s.bag = s.bag[:n]
 		s.mu.Unlock()
 		if ready == 0 {
 			return
@@ -306,8 +349,9 @@ func (q *RetireQueue) drainShard(i int, stopping bool) {
 		if expedited {
 			q.expeditedDrains.Add(1)
 		}
-		for _, r := range burst {
-			r.fn()
+		for i := range burst {
+			burst[i].invoke()
+			burst[i] = retired{}
 		}
 		s.done.Add(uint64(ready))
 		q.pending.Add(-int64(ready))

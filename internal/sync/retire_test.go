@@ -163,3 +163,48 @@ func TestRetireQueueStopDrainsElapsed(t *testing.T) {
 		t.Fatal("Stop invoked an un-elapsed entry")
 	}
 }
+
+// chanReclaimer signals each RetireObject delivery so tests can assert
+// the non-closure path preserves its payload and interleaves FIFO with
+// the closure path on the same shard.
+type chanReclaimer struct {
+	got chan [2]uint64 // {idx, cpu}
+}
+
+func (r *chanReclaimer) ReclaimRetired(cpu int, obj any, idx uint64) {
+	if obj == nil {
+		panic("retire_test: RetireObject payload lost its obj")
+	}
+	r.got <- [2]uint64{idx, uint64(cpu)}
+}
+
+func TestRetireQueueRetireObject(t *testing.T) {
+	fp := &fakePoller{}
+	q := gsync.NewRetireQueue(fp, 2, gsync.QueueOptions{Poll: 100 * time.Microsecond})
+	defer q.Stop()
+
+	rec := &chanReclaimer{got: make(chan [2]uint64, 8)}
+	payload := new(int)
+	for i := 0; i < 4; i++ {
+		q.RetireObject(1, rec, payload, uint64(i))
+	}
+	if got := q.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4", got)
+	}
+	fp.Advance()
+	q.Barrier()
+	if got := q.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after Barrier", got)
+	}
+	close(rec.got)
+	i := uint64(0)
+	for g := range rec.got {
+		if g[0] != i || g[1] != 1 {
+			t.Fatalf("delivery %d = {idx %d, cpu %d}, want {idx %d, cpu 1}", i, g[0], g[1], i)
+		}
+		i++
+	}
+	if i != 4 {
+		t.Fatalf("reclaimer saw %d deliveries, want 4", i)
+	}
+}

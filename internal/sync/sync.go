@@ -128,6 +128,16 @@ type Backend interface {
 	// ebr/nebr to a cookie-stamped limbo entry, hp to a retire-list
 	// entry scanned against published hazards.
 	Retire(cpu int, fn func())
+	// RetireObject is Retire without the closure: the same ordering
+	// contract, but the deferred work is carried as a (Reclaimer, obj,
+	// idx) triple instead of a heap-allocated func value. The steady-
+	// state deferred-free path goes through here so that retiring an
+	// object costs zero allocations per call — the reclamation scheme
+	// must not itself generate the garbage it exists to manage. When
+	// the grace period elapses the backend calls
+	// r.ReclaimRetired(cpu, obj, idx) with the cpu the retirement was
+	// enqueued on.
+	RetireObject(cpu int, r Reclaimer, obj any, idx uint64)
 	// Barrier blocks until every Retire accepted before the call has
 	// run (or the backend stopped).
 	//
@@ -137,10 +147,29 @@ type Backend interface {
 	// Stop shuts down the backend's goroutines. Idempotent. Blocked
 	// waiters return.
 	Stop()
+	// Stopped reports whether Stop has begun. Teardown paths that loop
+	// on grace-period progress (a cache drain waiting out latent
+	// cookies) use it to terminate instead of spinning forever on
+	// cookies that can no longer elapse.
+	Stopped() bool
 	// RegisterMetrics registers the backend's observability series. All
 	// backends export the shared prudence_gp_* families so dashboards
 	// read identically over any scheme.
 	RegisterMetrics(*metrics.Registry)
+}
+
+// Reclaimer receives retirements enqueued through Backend.RetireObject
+// once their grace period has elapsed. Implementations interpret (obj,
+// idx) themselves — the slab allocators pass the slab pointer and the
+// object index within it — so the payload stays scheme-agnostic and
+// pointer-shaped: storing a pointer in obj and the implementation in
+// the interface word allocates nothing.
+type Reclaimer interface {
+	// ReclaimRetired frees the object identified by (obj, idx). cpu is
+	// the CPU the retirement was enqueued on; as with closures passed
+	// to Retire, the call arrives on a backend-managed goroutine that
+	// is a cross-CPU visitor, not the CPU's owner.
+	ReclaimRetired(cpu int, obj any, idx uint64)
 }
 
 // PressureSetter is the optional capability of reacting to memory

@@ -22,12 +22,32 @@
 package synctest
 
 import (
+	stdsync "sync"
 	"testing"
 	"time"
 
 	"prudence/internal/fault"
 	gsync "prudence/internal/sync"
 )
+
+// recordingReclaimer captures RetireObject deliveries for the
+// conformance check of the non-closure retirement path.
+type recordingReclaimer struct {
+	mu  stdsync.Mutex
+	got []reclaimed // under mu
+}
+
+type reclaimed struct {
+	cpu int
+	obj any
+	idx uint64
+}
+
+func (r *recordingReclaimer) ReclaimRetired(cpu int, obj any, idx uint64) {
+	r.mu.Lock()
+	r.got = append(r.got, reclaimed{cpu: cpu, obj: obj, idx: idx})
+	r.mu.Unlock()
+}
 
 // Factory builds a fresh backend for one subtest; the suite calls Stop
 // when the subtest ends. Implementations should use a short
@@ -155,6 +175,33 @@ func Run(t *testing.T, cpus int, factory Factory) {
 		case <-freed:
 		default:
 			t.Fatal("Barrier returned before the retired object was reclaimed")
+		}
+	})
+
+	t.Run("RetireObjectRuns", func(t *testing.T) {
+		// The non-closure retirement path: payloads survive the trip
+		// through the backend's retire machinery intact and arrive at
+		// the reclaimer after their grace period, covered by Barrier.
+		b := fresh(t)
+		rec := &recordingReclaimer{}
+		objs := make([]int, 4)
+		for i := range objs {
+			b.RetireObject(0, rec, &objs[i], uint64(i))
+		}
+		b.Synchronize()
+		b.Barrier()
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if len(rec.got) != len(objs) {
+			t.Fatalf("reclaimer saw %d retirements, want %d", len(rec.got), len(objs))
+		}
+		for i, g := range rec.got {
+			if g.cpu != 0 {
+				t.Errorf("retirement %d arrived with cpu %d, want 0", i, g.cpu)
+			}
+			if g.obj != any(&objs[g.idx]) {
+				t.Errorf("retirement idx %d arrived with wrong obj pointer", g.idx)
+			}
 		}
 	})
 

@@ -165,6 +165,12 @@ type Config struct {
 	// registered backend name (see Arenas). Empty consults the
 	// PRUDENCE_ARENA environment variable, then defaults to "heap".
 	Arena ArenaKind
+	// PressureWatermark arms the page allocator's memory-pressure
+	// notification at the given used-page count and wires it to the
+	// reclamation backend (expedited grace periods and lifted drain
+	// batch limits, the paper's §3.5 kernel behaviour). Zero arms it at
+	// 3/4 of MemoryPages; a negative value disables pressure wiring.
+	PressureWatermark int
 }
 
 // arenaName resolves the effective arena backend: explicit Config value,
@@ -223,6 +229,7 @@ type System struct {
 	machine *vcpu.Machine
 	sync    gsync.Backend
 	alloc   alloc.Allocator
+	scheme  string
 	reg     *metrics.Registry
 	ring    *trace.Ring // nil when tracing is disabled
 	zeroer  *pagealloc.Zeroer
@@ -246,7 +253,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Reclamation == "" {
 		cfg.Reclamation = RCU
 	}
-	s := &System{reg: metrics.NewRegistry()}
+	s := &System{reg: metrics.NewRegistry(), scheme: string(cfg.Reclamation)}
 	arena, err := memarena.NewBackend(cfg.arenaName(), cfg.MemoryPages)
 	if err != nil {
 		return nil, fmt.Errorf("prudence: %w", err)
@@ -289,6 +296,16 @@ func New(cfg Config) (*System, error) {
 		}
 		s.alloc = core.New(s.pages, s.sync, s.machine, opts)
 	}
+	if cfg.PressureWatermark >= 0 {
+		wm := cfg.PressureWatermark
+		if wm == 0 {
+			wm = cfg.MemoryPages * 3 / 4
+		}
+		if ps, ok := s.sync.(gsync.PressureSetter); ok {
+			s.pages.OnPressure(ps.SetPressure)
+		}
+		s.pages.SetPressureWatermark(wm)
+	}
 	s.pages.RegisterMetrics(s.reg)
 	s.sync.RegisterMetrics(s.reg)
 	s.alloc.RegisterMetrics(s.reg)
@@ -327,6 +344,10 @@ func (s *System) NumCPU() int { return s.machine.NumCPU() }
 // AllocatorName reports which allocator backs this system.
 func (s *System) AllocatorName() string { return s.alloc.Name() }
 
+// ReclamationName returns the registered name of the reclamation
+// scheme behind this system.
+func (s *System) ReclamationName() string { return s.scheme }
+
 // UsedBytes returns the simulated physical memory currently in use.
 func (s *System) UsedBytes() int64 { return s.arena.UsedBytes() }
 
@@ -358,8 +379,27 @@ func (s *System) ReadUnlock(cpu int) { s.sync.ReadUnlock(cpu) }
 // hazard-based schemes treat it as a no-op.
 func (s *System) QuiescentState(cpu int) { s.sync.QuiescentState(cpu) }
 
+// EnterIdle marks cpu idle for the reclamation backend. A goroutine
+// that owns a vCPU and is about to block for an unbounded time (a
+// server worker parking on an empty request queue) must enter idle
+// first, or the backend will wait forever for a quiescent state that
+// never comes and grace periods will stall system-wide.
+func (s *System) EnterIdle(cpu int) { s.sync.EnterIdle(cpu) }
+
+// ExitIdle marks cpu busy again after EnterIdle, before the owning
+// goroutine touches any RCU-protected state.
+func (s *System) ExitIdle(cpu int) { s.sync.ExitIdle(cpu) }
+
 // Synchronize blocks until a full RCU grace period has elapsed.
 func (s *System) Synchronize() { s.sync.Synchronize() }
+
+// ExpediteReclaim raises expedited grace-period demand on the
+// reclamation backend: the next grace period is driven as fast as the
+// scheme's safety protocol allows, skipping pacing gaps. Long-running
+// services call it when their own backpressure signals (a deep retire
+// backlog, queue saturation) show reclamation falling behind the
+// update rate.
+func (s *System) ExpediteReclaim() { s.sync.ExpediteGP() }
 
 // GracePeriods returns the number of grace periods completed.
 func (s *System) GracePeriods() uint64 { return s.sync.GPsCompleted() }
@@ -372,6 +412,11 @@ func (s *System) Metrics() string { return s.reg.String() }
 // WriteMetrics writes the same metrics in Prometheus exposition text
 // format (text/plain; version=0.0.4), suitable for a /metrics endpoint.
 func (s *System) WriteMetrics(w io.Writer) error { return s.reg.WritePrometheus(w) }
+
+// GatherMetrics snapshots every metric into a flat name->value map
+// (labels rendered into the name), for programmatic consumers such as
+// backpressure monitors and load-test reports.
+func (s *System) GatherMetrics() map[string]float64 { return s.reg.Gather() }
 
 // TraceRing is a fixed-capacity event ring recording slow-path
 // allocator activity (refills, flushes, grows, shrinks, pre-moves,
